@@ -1,0 +1,140 @@
+// Command inspect queries a saved measurement dataset (produced by
+// sleepscan -o): headline summary, per-country and per-link breakdowns,
+// organization queries, and CSV re-export.
+//
+// Usage:
+//
+//	inspect dataset.sleepnet                 # summary
+//	inspect -by country dataset.sleepnet    # per-country table
+//	inspect -by link dataset.sleepnet       # per-link-type table
+//	inspect -by region dataset.sleepnet     # per-region table
+//	inspect -org "china" dataset.sleepnet   # blocks of one organization
+//	inspect -csv out.csv dataset.sleepnet   # re-export records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"sleepnet/internal/core"
+	"sleepnet/internal/dataset"
+	"sleepnet/internal/report"
+)
+
+func main() {
+	by := flag.String("by", "", "breakdown dimension: country, region, link")
+	org := flag.String("org", "", "show blocks whose organization matches this keyword")
+	csvPath := flag.String("csv", "", "re-export records as CSV to this file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: inspect [flags] <dataset file>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	ds, err := dataset.Load(flag.Arg(0))
+	fatal(err)
+
+	sum := ds.Summarize()
+	fmt.Printf("dataset: %d blocks (%d measured, %d sparse), created %s, %d rounds\n",
+		sum.Blocks, sum.Measured, sum.Sparse, ds.CreatedAt.Format("2006-01-02"), ds.Rounds)
+	fmt.Printf("diurnal: %d strict (%s), %d relaxed, %d non-diurnal (either: %s)\n",
+		sum.Strict, report.Pct(sum.StrictFraction), sum.Relaxed, sum.NonDiurnal,
+		report.Pct(sum.EitherFraction))
+
+	switch *by {
+	case "":
+	case "country":
+		breakdown(ds, func(b dataset.BlockRecord) string { return b.Country })
+	case "region":
+		breakdown(ds, func(b dataset.BlockRecord) string { return b.Region })
+	case "link":
+		breakdown(ds, func(b dataset.BlockRecord) string { return b.LinkType })
+	default:
+		fmt.Fprintf(os.Stderr, "inspect: unknown dimension %q\n", *by)
+		os.Exit(2)
+	}
+
+	if *org != "" {
+		orgQuery(ds, *org)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		fatal(err)
+		fatal(ds.ExportCSV(f))
+		fatal(f.Close())
+		fmt.Printf("exported %d records to %s\n", len(ds.Blocks), *csvPath)
+	}
+}
+
+func breakdown(ds *dataset.Dataset, key func(dataset.BlockRecord) string) {
+	type agg struct{ n, strict, outages int }
+	m := map[string]*agg{}
+	for _, b := range ds.Blocks {
+		if b.Sparse {
+			continue
+		}
+		a := m[key(b)]
+		if a == nil {
+			a = &agg{}
+			m[key(b)] = a
+		}
+		a.n++
+		if b.DiurnalClass() == core.StrictDiurnal {
+			a.strict++
+		}
+		a.outages += b.OutageEpisodes
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		fi := float64(m[keys[i]].strict) / float64(m[keys[i]].n)
+		fj := float64(m[keys[j]].strict) / float64(m[keys[j]].n)
+		if fi != fj {
+			return fi > fj
+		}
+		return keys[i] < keys[j]
+	})
+	rows := make([][]string, 0, len(keys))
+	for _, k := range keys {
+		a := m[k]
+		rows = append(rows, []string{
+			k, fmt.Sprint(a.n),
+			report.F(float64(a.strict) / float64(a.n)),
+			fmt.Sprint(a.outages),
+		})
+	}
+	fmt.Println()
+	fmt.Print(report.Table([]string{"group", "blocks", "frac strict", "outage episodes"}, rows))
+}
+
+func orgQuery(ds *dataset.Dataset, keyword string) {
+	kw := strings.ToLower(keyword)
+	var n, strict int
+	for _, b := range ds.Blocks {
+		if b.Sparse || !strings.Contains(strings.ToLower(b.Org), kw) {
+			continue
+		}
+		n++
+		if b.DiurnalClass() == core.StrictDiurnal {
+			strict++
+		}
+	}
+	if n == 0 {
+		fmt.Printf("\nno measured blocks match organization %q\n", keyword)
+		return
+	}
+	fmt.Printf("\norganization %q: %d blocks, %s strictly diurnal\n",
+		keyword, n, report.Pct(float64(strict)/float64(n)))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inspect:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,103 @@
+// Command worldgen generates a synthetic world and describes it: country
+// populations, designed diurnal fractions, link-technology mixes, the /8
+// allocation calendar, and the operator (AS/organization) inventory.
+//
+// Usage:
+//
+//	worldgen [-blocks N] [-seed N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"sleepnet/internal/report"
+	"sleepnet/internal/world"
+)
+
+func main() {
+	blocks := flag.Int("blocks", 3000, "number of /24 blocks")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	verbose := flag.Bool("v", false, "list individual ISPs and /8 allocations")
+	flag.Parse()
+
+	w, err := world.Generate(world.Config{Blocks: *blocks, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worldgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("world: %d blocks, %d ISPs, %d allocated /8s, seed %d\n\n",
+		len(w.Blocks), len(w.ISPs), len(w.AllocDates), *seed)
+
+	type agg struct{ n, diurnal int }
+	byCountry := map[string]*agg{}
+	byLink := map[string]*agg{}
+	for _, b := range w.Blocks {
+		c := byCountry[b.Country.Code]
+		if c == nil {
+			c = &agg{}
+			byCountry[b.Country.Code] = c
+		}
+		l := byLink[b.LinkType]
+		if l == nil {
+			l = &agg{}
+			byLink[b.LinkType] = l
+		}
+		c.n++
+		l.n++
+		if b.DesignedDiurnal {
+			c.diurnal++
+			l.diurnal++
+		}
+	}
+
+	var codes []string
+	for code := range byCountry {
+		codes = append(codes, code)
+	}
+	sort.Slice(codes, func(i, j int) bool { return byCountry[codes[i]].n > byCountry[codes[j]].n })
+	rows := [][]string{}
+	for _, code := range codes {
+		c := world.CountryByCode(code)
+		a := byCountry[code]
+		rows = append(rows, []string{
+			code, c.Region, fmt.Sprint(a.n),
+			report.F(float64(a.diurnal) / float64(a.n)),
+			report.F(c.DiurnalFrac),
+			fmt.Sprintf("%.0f", c.GDP),
+		})
+	}
+	fmt.Println("country populations (designed diurnal fraction vs target):")
+	fmt.Print(report.Table([]string{"country", "region", "blocks", "designed", "target", "GDP"}, rows))
+
+	fmt.Println("\nlink technologies:")
+	rows = rows[:0]
+	for _, lt := range world.LinkTypes {
+		a := byLink[lt]
+		if a == nil {
+			continue
+		}
+		rows = append(rows, []string{
+			lt, fmt.Sprint(a.n), report.F(float64(a.diurnal) / float64(a.n)),
+		})
+	}
+	fmt.Print(report.Table([]string{"link", "blocks", "designed diurnal"}, rows))
+
+	if *verbose {
+		fmt.Println("\n/8 allocation calendar:")
+		var s8s []int
+		for s8 := range w.AllocDates {
+			s8s = append(s8s, s8)
+		}
+		sort.Ints(s8s)
+		for _, s8 := range s8s {
+			fmt.Printf("  %3d/8  %s\n", s8, w.AllocDates[s8].Format("2006-01"))
+		}
+		fmt.Println("\nISPs:")
+		for _, isp := range w.ISPs {
+			fmt.Printf("  %-40s %s ASNs=%v\n", isp.Name, isp.Country, isp.ASNs)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Multisite: the paper's §3.3 stability analysis as a runnable program.
+// Measures the same world from three vantage points (the paper's Los
+// Angeles, Colorado, and Keio sites), cross-tabulates their verdicts
+// (Table 2), tests the frequency distributions for distributional agreement
+// (two-sample KS), and shows the majority-vote consensus classification.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sleepnet/internal/analysis"
+	"sleepnet/internal/report"
+	"sleepnet/internal/world"
+)
+
+func main() {
+	blocks := flag.Int("blocks", 1000, "world size in /24 blocks")
+	seed := flag.Uint64("seed", 53, "seed")
+	flag.Parse()
+
+	w, err := world.Generate(world.Config{Blocks: *blocks, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sites := []struct {
+		name string
+		seed uint64
+	}{
+		{"w (Los Angeles)", *seed ^ 0x10},
+		{"c (Colorado)", *seed ^ 0x20},
+		{"j (Keio)", *seed ^ 0x30},
+	}
+	studies := make([]*analysis.Study, len(sites))
+	for i, s := range sites {
+		st, err := analysis.MeasureWorld(w, analysis.StudyConfig{Days: 14, Seed: s.seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		studies[i] = st
+		strict, either := st.DiurnalFraction()
+		fmt.Printf("site %-18s %s strict, %s either diurnal\n", s.name, report.Pct(strict), report.Pct(either))
+	}
+
+	fmt.Println("\n== Table 2: pairwise agreement ==")
+	for i := 0; i < len(studies); i++ {
+		for j := i + 1; j < len(studies); j++ {
+			cs, err := analysis.CompareSites(studies[i], studies[j])
+			if err != nil {
+				log.Fatal(err)
+			}
+			ks, err := analysis.CompareSiteFrequencies(studies[i], studies[j])
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s vs %s: strong disagreement %s, frequency KS D = %.3f\n",
+				sites[i].name, sites[j].name, report.Pct(cs.StrongDisagree), ks.D)
+		}
+	}
+
+	fmt.Println("\n== three-site consensus (majority vote) ==")
+	cons, err := analysis.ConsensusClassify(studies...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strictN := 0
+	for _, s := range cons.Strict {
+		if s {
+			strictN++
+		}
+	}
+	fmt.Printf("consensus population: %d blocks, %d strictly diurnal (%s)\n",
+		cons.Blocks, strictN, report.Pct(float64(strictN)/float64(cons.Blocks)))
+	fmt.Printf("verdicts flipped vs site w alone: %d (%s)\n",
+		cons.FlippedFromFirst, report.Pct(float64(cons.FlippedFromFirst)/float64(cons.Blocks)))
+	fmt.Println("\n=> measurement location does not change the conclusions (§3.3);")
+	fmt.Println("   consensus trims the residual single-site noise.")
+}

@@ -1,0 +1,91 @@
+// Phasegeo: the paper's §5.2 "when does the Internet sleep?" analysis.
+// Measures a synthetic world, extracts the diurnal phase of every diurnal
+// block from its FFT coefficient, geolocates the blocks, and shows that
+// phase tracks longitude — then uses the fitted phase→longitude predictor
+// to estimate where blocks are from their sleep schedule alone (Fig 14).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"sleepnet/internal/analysis"
+	"sleepnet/internal/core"
+	"sleepnet/internal/geo"
+	"sleepnet/internal/world"
+)
+
+func main() {
+	blocks := flag.Int("blocks", 1500, "world size in /24 blocks")
+	seed := flag.Uint64("seed", 23, "seed")
+	flag.Parse()
+
+	w, err := world.Generate(world.Config{Blocks: *blocks, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := analysis.MeasureWorld(w, analysis.StudyConfig{Days: 14, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := geo.FromWorld(w, 0.93, *seed)
+
+	strict, err := st.PhaseVsLongitude(db, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	relaxed, err := st.PhaseVsLongitude(db, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fig 14a strict:  %4d blocks, unrolled phase vs longitude r = %.3f (paper: 0.835)\n",
+		strict.Blocks, strict.R)
+	fmt.Printf("Fig 14b relaxed: %4d blocks, r = %.3f (paper: 0.763)\n",
+		relaxed.Blocks, relaxed.R)
+
+	// Use the predictor to geolocate diurnal blocks from phase alone and
+	// score it against the geolocation database (Fig 14c's application).
+	var absErrs []float64
+	for _, b := range st.Measured() {
+		if b.Class != core.StrictDiurnal {
+			continue
+		}
+		e, ok := db.Lookup(b.Info.ID)
+		if !ok {
+			continue
+		}
+		lon, _, ok := relaxed.PredictLongitude(b.Phase)
+		if !ok {
+			continue
+		}
+		d := math.Abs(lon - e.Lon)
+		if d > 180 {
+			d = 360 - d
+		}
+		absErrs = append(absErrs, d)
+	}
+	if len(absErrs) == 0 {
+		log.Fatal("no predictable blocks")
+	}
+	var sum float64
+	within20, within45 := 0, 0
+	for _, d := range absErrs {
+		sum += d
+		if d <= 20 {
+			within20++
+		}
+		if d <= 45 {
+			within45++
+		}
+	}
+	fmt.Printf("\nphase-only geolocation of %d strictly diurnal blocks:\n", len(absErrs))
+	fmt.Printf("  mean |longitude error|: %.1f°\n", sum/float64(len(absErrs)))
+	fmt.Printf("  within ±20°: %.1f%%   within ±45°: %.1f%%\n",
+		100*float64(within20)/float64(len(absErrs)),
+		100*float64(within45)/float64(len(absErrs)))
+	fmt.Println("\n(the paper: most phases predict longitude within ±20°, except the")
+	fmt.Println(" -2..0 phase range that only resolves the hemisphere — driven by")
+	fmt.Println(" China's single timezone across 60° of longitude)")
+}

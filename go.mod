@@ -1,0 +1,3 @@
+module sleepnet
+
+go 1.22

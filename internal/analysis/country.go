@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sleepnet/internal/core"
+	"sleepnet/internal/stats"
+	"sleepnet/internal/world"
+)
+
+// CountryRow is one line of Table 3.
+type CountryRow struct {
+	Code        string
+	Name        string
+	Region      string
+	Blocks      int
+	Diurnal     int // strictly diurnal blocks
+	FracDiurnal float64
+	GDP         float64
+}
+
+// CountryTable reproduces Table 3: fraction of strictly diurnal blocks per
+// country, for countries with at least minBlocks measured blocks, sorted by
+// descending diurnal fraction. The paper uses minBlocks=1000 at full scale;
+// scaled-down worlds pass a proportionally smaller floor.
+func (s *Study) CountryTable(minBlocks int) []CountryRow {
+	type agg struct{ n, d int }
+	byCountry := make(map[string]*agg)
+	for _, b := range s.Measured() {
+		a := byCountry[b.Info.Country.Code]
+		if a == nil {
+			a = &agg{}
+			byCountry[b.Info.Country.Code] = a
+		}
+		a.n++
+		if b.Class == core.StrictDiurnal {
+			a.d++
+		}
+	}
+	var rows []CountryRow
+	for _, code := range s.sortedCountryCodes() {
+		a := byCountry[code]
+		if a == nil || a.n < minBlocks {
+			continue
+		}
+		c := world.CountryByCode(code)
+		rows = append(rows, CountryRow{
+			Code:        code,
+			Name:        c.Name,
+			Region:      c.Region,
+			Blocks:      a.n,
+			Diurnal:     a.d,
+			FracDiurnal: float64(a.d) / float64(a.n),
+			GDP:         c.GDP,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].FracDiurnal != rows[j].FracDiurnal {
+			return rows[i].FracDiurnal > rows[j].FracDiurnal
+		}
+		return rows[i].Code < rows[j].Code
+	})
+	return rows
+}
+
+// RegionRow is one line of Table 4.
+type RegionRow struct {
+	Region      string
+	Blocks      int
+	FracDiurnal float64
+}
+
+// RegionTable reproduces Table 4: fraction of strictly diurnal blocks per
+// region, sorted ascending by fraction as the paper prints it.
+func (s *Study) RegionTable() []RegionRow {
+	type agg struct{ n, d int }
+	byRegion := make(map[string]*agg)
+	for _, b := range s.Measured() {
+		a := byRegion[b.Info.Country.Region]
+		if a == nil {
+			a = &agg{}
+			byRegion[b.Info.Country.Region] = a
+		}
+		a.n++
+		if b.Class == core.StrictDiurnal {
+			a.d++
+		}
+	}
+	var rows []RegionRow
+	for _, region := range world.Regions() {
+		a := byRegion[region]
+		if a == nil {
+			continue
+		}
+		rows = append(rows, RegionRow{
+			Region:      region,
+			Blocks:      a.n,
+			FracDiurnal: float64(a.d) / float64(a.n),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].FracDiurnal < rows[j].FracDiurnal })
+	return rows
+}
+
+// GDPCorrelation is the Fig 16 result: the linear fit of per-country
+// diurnal fraction against per-capita GDP.
+type GDPCorrelation struct {
+	Rows []CountryRow
+	Fit  stats.LinearFit
+	// R is the (negative) correlation coefficient of fraction vs GDP.
+	R float64
+	// RWeighted is the same correlation with countries weighted by their
+	// block counts, so a 10-block country does not count as much as the
+	// US; it is usually stronger than the unweighted R the paper reports.
+	RWeighted float64
+}
+
+// CorrelateGDP reproduces Fig 16 over the Table 3 population.
+func (s *Study) CorrelateGDP(minBlocks int) (*GDPCorrelation, error) {
+	rows := s.CountryTable(minBlocks)
+	if len(rows) < 3 {
+		return nil, fmt.Errorf("analysis: only %d countries pass the %d-block floor", len(rows), minBlocks)
+	}
+	xs := make([]float64, len(rows))
+	ys := make([]float64, len(rows))
+	ws := make([]float64, len(rows))
+	for i, r := range rows {
+		xs[i] = r.GDP
+		ys[i] = r.FracDiurnal
+		ws[i] = float64(r.Blocks)
+	}
+	fit, err := stats.FitLine(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	return &GDPCorrelation{
+		Rows:      rows,
+		Fit:       fit,
+		R:         fit.R,
+		RWeighted: stats.WeightedPearson(xs, ys, ws),
+	}, nil
+}
+
+// ANOVATable reproduces Table 5: single and pairwise regression-ANOVA
+// p-values of country-level factors against the per-country diurnal
+// fraction. Factors follow the paper: per-capita GDP, Internet users per
+// host, electricity consumption per capita, age of first allocation, and
+// mean allocation age.
+func (s *Study) ANOVATable(minBlocks int) (stats.FactorialTable, error) {
+	rows := s.CountryTable(minBlocks)
+	if len(rows) < 8 {
+		return stats.FactorialTable{}, fmt.Errorf("analysis: only %d countries for ANOVA", len(rows))
+	}
+	n := len(rows)
+	y := make([]float64, n)
+	gdp := make([]float64, n)
+	users := make([]float64, n)
+	elec := make([]float64, n)
+	firstAge := make([]float64, n)
+	meanAge := make([]float64, n)
+	const refYear = 2013
+	for i, r := range rows {
+		c := world.CountryByCode(r.Code)
+		y[i] = r.FracDiurnal
+		gdp[i] = c.GDP
+		users[i] = c.UsersPerHost
+		elec[i] = c.ElecPerCapita
+		mean, first := s.World.MeanAllocYear(r.Code)
+		if math.IsNaN(mean) {
+			mean, first = refYear, refYear
+		}
+		firstAge[i] = refYear - first
+		meanAge[i] = refYear - mean
+	}
+	return stats.FactorialANOVA(y, []stats.Factor{
+		{Name: "gdp", Values: gdp},
+		{Name: "usersPerHost", Values: users},
+		{Name: "elecPerCapita", Values: elec},
+		{Name: "firstAllocAge", Values: firstAge},
+		{Name: "meanAllocAge", Values: meanAge},
+	})
+}

@@ -1,0 +1,267 @@
+// Package analysis implements the paper's experiments: each figure and
+// table of the evaluation (§3–§5) has a function here that runs the
+// measurement pipeline over a simulated world and computes the reported
+// quantity — estimator correlation (Figs 4–5), detection validation
+// (Table 1), controlled sensitivity sweeps (Figs 7–9), cross-site agreement
+// (Table 2), the frequency distribution (Fig 10), long-term trends
+// (Fig 11), world maps (Figs 12–13), country and region tables (Tables
+// 3–4), phase-longitude analysis (Fig 14), allocation-date trends (Fig 15),
+// GDP correlation (Fig 16), factorial ANOVA (Table 5), and link-technology
+// correlation (Fig 17).
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"sleepnet/internal/core"
+	"sleepnet/internal/outage"
+	"sleepnet/internal/trinocular"
+	"sleepnet/internal/world"
+)
+
+// DefaultStart matches the A12w collection start (2013-04-24 17:18 UTC).
+var DefaultStart = time.Date(2013, time.April, 24, 17, 18, 0, 0, time.UTC)
+
+// RoundsForDays returns the number of 11-minute rounds that cover the given
+// number of days with a safety margin for midnight trimming.
+func RoundsForDays(days int) int {
+	return days*86400/660 + 60
+}
+
+// MeasuredBlock is the per-block summary a study keeps: the classification
+// and the small diagnostics the experiments consume (full per-round series
+// are dropped to keep world-scale studies in memory).
+type MeasuredBlock struct {
+	Info *world.BlockInfo
+	// Class is the spectral classification of the estimated series.
+	Class core.DiurnalClass
+	// Phase is the 1-cycle/day FFT phase (meaningful when diurnal).
+	Phase float64
+	// StrongestCPD is the strongest periodicity in cycles/day.
+	StrongestCPD float64
+	// Days is N_d of the trimmed series.
+	Days int
+	// ProbesSent is the probing cost of this block.
+	ProbesSent int64
+	// SlopePerDay is the linear drift of the trimmed Âs series — the §2.2
+	// stationarity diagnostic.
+	SlopePerDay float64
+	// Outage summarizes the block's detected outage episodes.
+	Outage outage.Summary
+	// Sparse marks blocks Trinocular refused to probe (policy floor).
+	Sparse bool
+	// Err records any other per-block failure.
+	Err error
+}
+
+// Study is a measured world: the block population with classifications.
+type Study struct {
+	World  *world.World
+	Blocks []MeasuredBlock
+	// Cfg is the pipeline configuration used.
+	Cfg core.PipelineConfig
+}
+
+// StudyConfig controls a world measurement.
+type StudyConfig struct {
+	// Days of probing (default 14).
+	Days int
+	// Seed for the pipeline (artifact injection, walks).
+	Seed uint64
+	// Workers bounds parallelism (default GOMAXPROCS).
+	Workers int
+	// RestartInterval forwards the prober restart artifact (zero: none).
+	RestartInterval time.Duration
+	// MissingRate/DuplicateRate forward collection artifacts.
+	MissingRate, DuplicateRate float64
+	// Start overrides the campaign start time.
+	Start time.Time
+}
+
+func (c StudyConfig) withDefaults() StudyConfig {
+	if c.Days == 0 {
+		c.Days = 14
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Start.IsZero() {
+		c.Start = DefaultStart
+	}
+	return c
+}
+
+// MeasureWorld runs the full §2 pipeline over every block of the world in
+// parallel and returns the per-block classifications.
+func MeasureWorld(w *world.World, sc StudyConfig) (*Study, error) {
+	sc = sc.withDefaults()
+	if len(w.Blocks) == 0 {
+		return nil, fmt.Errorf("analysis: world has no blocks")
+	}
+	cfg := core.PipelineConfig{
+		Start:         sc.Start,
+		Rounds:        RoundsForDays(sc.Days),
+		Seed:          sc.Seed,
+		MissingRate:   sc.MissingRate,
+		DuplicateRate: sc.DuplicateRate,
+		Prober:        trinocular.Config{RestartInterval: sc.RestartInterval},
+	}
+	pl := core.NewPipeline(w.Net, cfg)
+	study := &Study{World: w, Cfg: pl.Config(), Blocks: make([]MeasuredBlock, len(w.Blocks))}
+
+	var wg sync.WaitGroup
+	idxCh := make(chan int)
+	for wk := 0; wk < sc.Workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				study.Blocks[i] = measureOne(pl, w.Blocks[i])
+			}
+		}()
+	}
+	for i := range w.Blocks {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	return study, nil
+}
+
+func measureOne(pl *core.Pipeline, info *world.BlockInfo) MeasuredBlock {
+	mb := MeasuredBlock{Info: info}
+	run, err := pl.RunBlock(info.ID)
+	if err != nil {
+		if isSparse(err) {
+			mb.Sparse = true
+		} else {
+			mb.Err = err
+		}
+		return mb
+	}
+	mb.Class = run.Result.Class
+	mb.Phase = run.Result.Phase
+	mb.Days = run.Days
+	mb.ProbesSent = run.ProbesSent
+	mb.SlopePerDay = run.SlopePerDay
+	// Use the exact series duration, not the integer day count: a trimmed
+	// series spans ~13.995 days, and bin/floor(days) would misscale every
+	// frequency by ~7%.
+	if exactDays := run.Trimmed.Days(); exactDays > 0 {
+		mb.StrongestCPD = float64(run.Result.PeakBin) / exactDays
+	}
+	if eps, err := outage.Episodes(run.Outages, run.Short.Len()); err == nil {
+		mb.Outage = outage.Summarize(eps, run.Short.Len())
+	}
+	return mb
+}
+
+func isSparse(err error) bool { return errors.Is(err, trinocular.ErrTooSparse) }
+
+// Measured returns the blocks that produced a classification.
+func (s *Study) Measured() []MeasuredBlock {
+	out := make([]MeasuredBlock, 0, len(s.Blocks))
+	for _, b := range s.Blocks {
+		if b.Err == nil && !b.Sparse {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// CountByClass tallies the measured population.
+func (s *Study) CountByClass() map[core.DiurnalClass]int {
+	out := make(map[core.DiurnalClass]int)
+	for _, b := range s.Measured() {
+		out[b.Class]++
+	}
+	return out
+}
+
+// DiurnalFraction returns the strict and either (strict+relaxed) fractions
+// of the measured population.
+func (s *Study) DiurnalFraction() (strict, either float64) {
+	m := s.Measured()
+	if len(m) == 0 {
+		return 0, 0
+	}
+	var ns, ne int
+	for _, b := range m {
+		switch b.Class {
+		case core.StrictDiurnal:
+			ns++
+			ne++
+		case core.RelaxedDiurnal:
+			ne++
+		}
+	}
+	return float64(ns) / float64(len(m)), float64(ne) / float64(len(m))
+}
+
+// ProbeBudget summarizes probing cost: mean probes per block per hour.
+func (s *Study) ProbeBudget() float64 {
+	m := s.Measured()
+	if len(m) == 0 {
+		return 0
+	}
+	var total int64
+	for _, b := range m {
+		total += b.ProbesSent
+	}
+	hours := float64(s.Cfg.Rounds) * s.Cfg.Period.Hours()
+	return float64(total) / float64(len(m)) / hours
+}
+
+// StationaryFraction reports the share of measured blocks whose Âs series
+// drifts by less than one address per day in availability units (slope <
+// 1/|E(b)|) — the §2.2 data-appropriateness check; the paper found 80.3%
+// of survey blocks stationary.
+func (s *Study) StationaryFraction() float64 {
+	m := s.Measured()
+	if len(m) == 0 {
+		return 0
+	}
+	stationary := 0
+	for _, b := range m {
+		ever := b.Info.NumStable + b.Info.NumDiurnal + b.Info.NumIntermittent
+		if ever <= 0 {
+			ever = 256
+		}
+		limit := 1 / float64(ever)
+		if b.SlopePerDay <= limit && b.SlopePerDay >= -limit {
+			stationary++
+		}
+	}
+	return float64(stationary) / float64(len(m))
+}
+
+// SelectBlocks returns measured blocks passing the filter.
+func (s *Study) SelectBlocks(keep func(MeasuredBlock) bool) []MeasuredBlock {
+	var out []MeasuredBlock
+	for _, b := range s.Measured() {
+		if keep(b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// sortedCountryCodes returns the country codes present among measured
+// blocks, sorted for deterministic iteration.
+func (s *Study) sortedCountryCodes() []string {
+	seen := make(map[string]bool)
+	for _, b := range s.Measured() {
+		seen[b.Info.Country.Code] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDetectDiurnalACFPositive(t *testing.T) {
+	vals := synthSeries(14, diurnalWave)
+	res, err := DetectDiurnalACF(vals, roundsPerDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diurnal {
+		t.Fatalf("diurnal series missed: %+v", res)
+	}
+	if res.PeakValue < 0.5 {
+		t.Fatalf("peak value = %v", res.PeakValue)
+	}
+}
+
+func TestDetectDiurnalACFNegative(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	vals := synthSeries(14, func(_ float64, _ int) float64 {
+		return 0.7 + 0.05*r.NormFloat64()
+	})
+	res, err := DetectDiurnalACF(vals, roundsPerDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diurnal {
+		t.Fatalf("flat noise classified diurnal: %+v", res)
+	}
+}
+
+func TestDetectDiurnalACFNonDailyPeriod(t *testing.T) {
+	// A 5.5h cycle: the dominant lag sits well below one day.
+	vals := synthSeries(14, func(hour float64, day int) float64 {
+		sec := float64(day)*86400 + hour*3600
+		return 0.5 + 0.3*math.Cos(2*3.141592653589793*sec/(5.5*3600))
+	})
+	res, err := DetectDiurnalACF(vals, roundsPerDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diurnal {
+		t.Fatalf("5.5h cycle classified diurnal: %+v", res)
+	}
+}
+
+func TestDetectDiurnalACFAgreesWithFFT(t *testing.T) {
+	// Both detectors should agree on clear cases across a parameter sweep.
+	agree := 0
+	total := 0
+	for amp := 0.0; amp <= 0.3; amp += 0.05 {
+		a := amp
+		vals := synthSeries(10, func(hour float64, _ int) float64 {
+			return 0.5 + a*math.Cos(2*3.141592653589793*(hour-14)/24)
+		})
+		fft, err := DetectDiurnal(vals, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acf, err := DetectDiurnalACF(vals, roundsPerDay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if fft.Class.IsDiurnal() == acf.Diurnal {
+			agree++
+		}
+	}
+	if agree < total-1 {
+		t.Fatalf("detectors agree on only %d of %d clean cases", agree, total)
+	}
+}
+
+func TestDetectDiurnalACFErrors(t *testing.T) {
+	if _, err := DetectDiurnalACF(make([]float64, 100), 1); err == nil {
+		t.Fatal("samplesPerDay 1 should error")
+	}
+	if _, err := DetectDiurnalACF(make([]float64, 10), 131); err == nil {
+		t.Fatal("short series should error")
+	}
+}

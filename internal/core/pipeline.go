@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sleepnet/internal/netsim"
+	"sleepnet/internal/timeseries"
+	"sleepnet/internal/trinocular"
+)
+
+// PipelineConfig describes one measurement campaign: when it starts, how
+// many 11-minute rounds it runs, and the collection-artifact rates observed
+// in the real datasets (§2.2 reports ~5% of rounds missing or duplicated).
+type PipelineConfig struct {
+	Start  time.Time
+	Rounds int
+	// Period is the probing round length; zero means the paper's 660 s.
+	Period time.Duration
+	// InitialA seeds the estimators, standing in for the years-old census
+	// history the paper used (deliberately allowed to be wrong).
+	InitialA float64
+	// MissingRate and DuplicateRate inject collection artifacts: a missing
+	// round records no observation (later gap-filled), a duplicated round
+	// records the observation twice.
+	MissingRate   float64
+	DuplicateRate float64
+	// Seed drives artifact injection and the prober's address walks.
+	Seed uint64
+	// Prober carries the Trinocular policy knobs.
+	Prober trinocular.Config
+}
+
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.Period <= 0 {
+		c.Period = timeseries.DefaultRound
+	}
+	if c.InitialA == 0 {
+		c.InitialA = 0.5
+	}
+	return c
+}
+
+// OutageEvent is a block state transition observed by the prober.
+type OutageEvent struct {
+	Round int
+	Down  bool // true: up->down (outage start), false: recovery
+}
+
+// BlockRun is the full measurement record for one block.
+type BlockRun struct {
+	ID netsim.BlockID
+	// Short is the cleaned Âs series, one value per round.
+	Short timeseries.Series
+	// Operational is Âo per round (same grid as Short).
+	Operational []float64
+	// LongTerm is Âl per round.
+	LongTerm []float64
+	// RawRate is the per-round p/t before smoothing (quantized, jittery).
+	RawRate []float64
+	// Outages lists the prober's state transitions.
+	Outages []OutageEvent
+	// CleanStats reports gap-filling and duplicate resolution.
+	CleanStats timeseries.CleanStats
+	// Trimmed is Short cut to midnight UTC boundaries, the series the
+	// spectral test actually runs on.
+	Trimmed timeseries.Series
+	// Days is N_d for the trimmed series.
+	Days int
+	// Result is the diurnal classification.
+	Result DiurnalResult
+	// SlopePerDay is the stationarity diagnostic of the trimmed series.
+	SlopePerDay float64
+	// ProbesSent counts probes this block cost.
+	ProbesSent int64
+}
+
+// Pipeline runs the full §2 measurement chain over blocks of a simulated
+// network: adaptive probing -> EWMA estimation -> cleaning -> midnight trim
+// -> spectral diurnal detection.
+type Pipeline struct {
+	cfg PipelineConfig
+	net *netsim.Network
+}
+
+// NewPipeline creates a pipeline over the network.
+func NewPipeline(net *netsim.Network, cfg PipelineConfig) *Pipeline {
+	return &Pipeline{cfg: cfg.withDefaults(), net: net}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (pl *Pipeline) Config() PipelineConfig { return pl.cfg }
+
+// RunBlock measures one block end to end. The block must be registered in
+// the pipeline's network. Sparse blocks (fewer ever-active addresses than
+// the Trinocular policy floor) return trinocular.ErrTooSparse.
+func (pl *Pipeline) RunBlock(id netsim.BlockID) (*BlockRun, error) {
+	blk := pl.net.Block(id)
+	if blk == nil {
+		return nil, fmt.Errorf("core: block %s not in network", id)
+	}
+	if pl.cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("core: pipeline needs Rounds > 0")
+	}
+	prober := trinocular.New(pl.net, pl.cfg.Prober, pl.cfg.Seed^uint64(id))
+	if err := prober.AddBlock(id, blk.EverActive()); err != nil {
+		return nil, err
+	}
+
+	run := &BlockRun{
+		ID:          id,
+		Operational: make([]float64, 0, pl.cfg.Rounds),
+		LongTerm:    make([]float64, 0, pl.cfg.Rounds),
+		RawRate:     make([]float64, 0, pl.cfg.Rounds),
+	}
+	est := NewEstimator(pl.cfg.InitialA)
+	samples := make([]timeseries.Sample, 0, pl.cfg.Rounds)
+
+	for r := 0; r < pl.cfg.Rounds; r++ {
+		now := pl.cfg.Start.Add(time.Duration(r) * pl.cfg.Period)
+		obs, err := prober.ProbeRound(id, now, est.Operational())
+		if err != nil {
+			return nil, err
+		}
+		if obs.Changed {
+			run.Outages = append(run.Outages, OutageEvent{Round: r, Down: !obs.Up})
+		}
+		// Collection artifacts: some observations never make it into the
+		// recorded dataset, some are recorded twice. The estimator is part
+		// of the analysis (recomputed from records), so a lost record is
+		// also never observed.
+		switch artifactFor(pl.cfg, id, r) {
+		case artifactMissing:
+		case artifactDuplicate:
+			est.Observe(obs.Positive, obs.Total)
+			s := timeseries.Sample{Round: r, Value: est.ShortTerm()}
+			samples = append(samples, s, s)
+		default:
+			est.Observe(obs.Positive, obs.Total)
+			samples = append(samples, timeseries.Sample{Round: r, Value: est.ShortTerm()})
+		}
+		run.Operational = append(run.Operational, est.Operational())
+		run.LongTerm = append(run.LongTerm, est.LongTerm())
+		run.RawRate = append(run.RawRate, obs.Rate())
+	}
+	run.ProbesSent = prober.ProbesSent()
+
+	cleaned, st, err := timeseries.Clean(samples, pl.cfg.Rounds)
+	if err != nil {
+		return nil, fmt.Errorf("core: cleaning block %s: %w", id, err)
+	}
+	run.CleanStats = st
+	run.Short = timeseries.New(pl.cfg.Start, pl.cfg.Period, cleaned)
+
+	trimmed, err := timeseries.TrimToMidnightUTC(run.Short)
+	if err != nil {
+		return nil, fmt.Errorf("core: trimming block %s: %w", id, err)
+	}
+	run.Trimmed = trimmed
+	run.Days = timeseries.NearestDays(trimmed.Len(), trimmed.Period)
+	run.SlopePerDay = trimmed.SlopePerDay()
+
+	res, err := DetectDiurnal(trimmed.Values, run.Days)
+	if err != nil {
+		return nil, fmt.Errorf("core: classifying block %s: %w", id, err)
+	}
+	run.Result = res
+	return run, nil
+}
+
+type artifactKind int
+
+const (
+	artifactNone artifactKind = iota
+	artifactMissing
+	artifactDuplicate
+)
+
+// artifactFor deterministically decides whether round r of a block suffers
+// a collection artifact.
+func artifactFor(cfg PipelineConfig, id netsim.BlockID, r int) artifactKind {
+	if cfg.MissingRate <= 0 && cfg.DuplicateRate <= 0 {
+		return artifactNone
+	}
+	u := prfFloat(cfg.Seed^0xa57f_ac75, uint64(id), uint64(r))
+	switch {
+	case u < cfg.MissingRate:
+		return artifactMissing
+	case u < cfg.MissingRate+cfg.DuplicateRate:
+		return artifactDuplicate
+	default:
+		return artifactNone
+	}
+}
+
+// Survey measures ground truth by full enumeration: TrueA of the block at
+// every round — what the paper's Internet surveys provide for ~2% of
+// blocks.
+func (pl *Pipeline) Survey(id netsim.BlockID) (timeseries.Series, error) {
+	blk := pl.net.Block(id)
+	if blk == nil {
+		return timeseries.Series{}, fmt.Errorf("core: block %s not in network", id)
+	}
+	if pl.cfg.Rounds <= 0 {
+		return timeseries.Series{}, fmt.Errorf("core: pipeline needs Rounds > 0")
+	}
+	vals := make([]float64, pl.cfg.Rounds)
+	for r := 0; r < pl.cfg.Rounds; r++ {
+		now := pl.cfg.Start.Add(time.Duration(r) * pl.cfg.Period)
+		vals[r] = blk.TrueA(now)
+	}
+	return timeseries.New(pl.cfg.Start, pl.cfg.Period, vals), nil
+}
+
+// ClassifySeries trims a (survey or estimated) series to midnight UTC and
+// runs the diurnal test — used to derive ground-truth classifications from
+// full survey data (§3.2.3).
+func ClassifySeries(s timeseries.Series) (DiurnalResult, int, error) {
+	trimmed, err := timeseries.TrimToMidnightUTC(s)
+	if err != nil {
+		return DiurnalResult{}, 0, err
+	}
+	days := timeseries.NearestDays(trimmed.Len(), trimmed.Period)
+	res, err := DetectDiurnal(trimmed.Values, days)
+	if err != nil {
+		return DiurnalResult{}, 0, err
+	}
+	return res, days, nil
+}
+
+// prfFloat mirrors netsim's deterministic PRF for artifact injection
+// without importing unexported helpers.
+func prfFloat(seed uint64, parts ...uint64) float64 {
+	h := seed + 0x9e3779b97f4a7c15
+	mix := func(x uint64) uint64 {
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		return x ^ (x >> 31)
+	}
+	h = mix(h)
+	for _, p := range parts {
+		h = mix(h ^ p)
+	}
+	return float64(h>>11) / (1 << 53)
+}

@@ -1,0 +1,362 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-8
+
+func complexNear(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func randomComplex(r *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return x
+}
+
+func TestFFTEmpty(t *testing.T) {
+	if got := FFT(nil); len(got) != 0 {
+		t.Fatalf("FFT(nil) = %v, want empty", got)
+	}
+	if got := IFFT(nil); len(got) != 0 {
+		t.Fatalf("IFFT(nil) = %v, want empty", got)
+	}
+}
+
+func TestFFTSingle(t *testing.T) {
+	got := FFT([]complex128{3 + 4i})
+	if len(got) != 1 || !complexNear(got[0], 3+4i, eps) {
+		t.Fatalf("FFT single = %v", got)
+	}
+}
+
+func TestFFTMatchesDFTPowersOfTwo(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		x := randomComplex(r, n)
+		want := DFT(x)
+		got := FFT(x)
+		for k := range want {
+			if !complexNear(got[k], want[k], 1e-7*float64(n)) {
+				t.Fatalf("n=%d bin %d: FFT=%v DFT=%v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestFFTMatchesDFTArbitraryLengths(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{3, 5, 6, 7, 9, 12, 17, 33, 100, 255, 1000, 1831} {
+		x := randomComplex(r, n)
+		want := DFT(x)
+		got := FFT(x)
+		for k := range want {
+			if !complexNear(got[k], want[k], 1e-6*float64(n)) {
+				t.Fatalf("n=%d bin %d: FFT=%v DFT=%v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 7, 16, 63, 128, 341} {
+		x := randomComplex(r, n)
+		back := IFFT(FFT(x))
+		for i := range x {
+			if !complexNear(back[i], x[i], 1e-7*float64(n)) {
+				t.Fatalf("n=%d sample %d: got %v want %v", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestFFTDoesNotModifyInput(t *testing.T) {
+	x := []complex128{1, 2, 3, 4, 5}
+	orig := append([]complex128(nil), x...)
+	FFT(x)
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatalf("FFT modified input at %d", i)
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 3 + rr.Intn(60)
+		x := randomComplex(rr, n)
+		y := randomComplex(rr, n)
+		a := complex(rr.NormFloat64(), rr.NormFloat64())
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a*x[i] + y[i]
+		}
+		fx, fy, fs := FFT(x), FFT(y), FFT(sum)
+		for k := 0; k < n; k++ {
+			if !complexNear(fs[k], a*fx[k]+fy[k], 1e-6*float64(n)) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	// Parseval: sum |x|^2 == (1/n) sum |X|^2.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 2 + rr.Intn(200)
+		x := randomComplex(rr, n)
+		X := FFT(x)
+		var tEnergy, fEnergy float64
+		for i := range x {
+			tEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		for k := range X {
+			fEnergy += real(X[k])*real(X[k]) + imag(X[k])*imag(X[k])
+		}
+		fEnergy /= float64(n)
+		return math.Abs(tEnergy-fEnergy) < 1e-6*(1+tEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealFFTConjugateSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, n := range []int{8, 9, 100, 101} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		X := RealFFT(x)
+		for k := 1; k < n; k++ {
+			if !complexNear(X[k], cmplx.Conj(X[n-k]), 1e-7*float64(n)) {
+				t.Fatalf("n=%d bin %d not conjugate-symmetric", n, k)
+			}
+		}
+	}
+}
+
+func TestGoertzelMatchesFFT(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for _, n := range []int{4, 7, 16, 100, 1831} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		X := RealFFT(x)
+		for _, k := range []int{0, 1, n / 3, n / 2, n - 1} {
+			got := Goertzel(x, k)
+			if !complexNear(got, X[k], 1e-6*float64(n)) {
+				t.Fatalf("n=%d k=%d: Goertzel=%v FFT=%v", n, k, got, X[k])
+			}
+		}
+	}
+}
+
+func TestGoertzelPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range bin")
+		}
+	}()
+	Goertzel([]float64{1, 2, 3}, 3)
+}
+
+func TestGoertzelEmpty(t *testing.T) {
+	if got := Goertzel(nil, 0); got != 0 {
+		t.Fatalf("Goertzel(nil) = %v, want 0", got)
+	}
+}
+
+func TestSinePeakDetection(t *testing.T) {
+	// A pure 14-cycle sine over 1831 samples must put its energy in bin 14.
+	n := 1831
+	x := Sine(n, 14, 1, 0.3)
+	s := NewSpectrum(x)
+	bin, amp := s.Peak()
+	if bin != 14 {
+		t.Fatalf("peak bin = %d, want 14", bin)
+	}
+	// Energy of a unit sine in its bin is n/2.
+	if math.Abs(amp-float64(n)/2) > 1 {
+		t.Fatalf("peak amp = %v, want ~%v", amp, float64(n)/2)
+	}
+}
+
+func TestSpectrumPhaseRecovery(t *testing.T) {
+	// sin(theta + p) = cos shifted; phase of the FFT coefficient at the bin
+	// should vary linearly with p. Verify relative phase differences.
+	n := 2048
+	p1, p2 := 0.5, 1.7
+	s1 := NewSpectrum(Sine(n, 8, 1, p1))
+	s2 := NewSpectrum(Sine(n, 8, 1, p2))
+	d := s2.Phase(8) - s1.Phase(8)
+	for d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	for d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if math.Abs(d-(p2-p1)) > 1e-6 {
+		t.Fatalf("phase difference = %v, want %v", d, p2-p1)
+	}
+}
+
+func TestPeakExcluding(t *testing.T) {
+	n := 512
+	x := make([]float64, n)
+	a := Sine(n, 10, 3, 0)
+	b := Sine(n, 25, 2, 0)
+	for i := range x {
+		x[i] = a[i] + b[i]
+	}
+	s := NewSpectrum(x)
+	bin, _ := s.Peak()
+	if bin != 10 {
+		t.Fatalf("peak = %d, want 10", bin)
+	}
+	bin2, _ := s.PeakExcluding(func(k int) bool { return k == 10 })
+	if bin2 != 25 {
+		t.Fatalf("second peak = %d, want 25", bin2)
+	}
+}
+
+func TestIsHarmonicOf(t *testing.T) {
+	cases := []struct {
+		k, f, tol int
+		want      bool
+	}{
+		{28, 14, 0, true},
+		{42, 14, 0, true},
+		{29, 14, 1, true},
+		{30, 14, 1, false},
+		{14, 14, 0, false}, // fundamental is not its own harmonic
+		{7, 14, 0, false},
+		{15, 14, 1, false}, // within tol of fundamental, not a multiple >= 2
+		{0, 14, 0, false},
+		{28, 0, 0, false},
+	}
+	for _, c := range cases {
+		if got := IsHarmonicOf(c.k, c.f, c.tol); got != c.want {
+			t.Errorf("IsHarmonicOf(%d,%d,%d) = %v, want %v", c.k, c.f, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestDetrendZeroMean(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(100)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rr.NormFloat64() * 10
+		}
+		d := Detrend(x)
+		var sum float64
+		for _, v := range d {
+			sum += v
+		}
+		return math.Abs(sum/float64(n)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetrendLinearRemovesLine(t *testing.T) {
+	n := 100
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 3 + 0.5*float64(i)
+	}
+	d := DetrendLinear(x)
+	for i, v := range d {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("residual at %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestDetrendLinearPreservesSine(t *testing.T) {
+	n := 1024
+	sig := Sine(n, 12, 1, 0)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = sig[i] + 5 + 0.01*float64(i)
+	}
+	s := NewSpectrum(DetrendLinear(x))
+	bin, _ := s.Peak()
+	if bin != 12 {
+		t.Fatalf("peak after linear detrend = %d, want 12", bin)
+	}
+}
+
+func TestCyclesPerDay(t *testing.T) {
+	// 11-minute sampling (660 s) over 14 days => n = 14*24*60/11 ≈ 1832
+	// samples (not integral; use exact round count n and check bin N_d maps
+	// to ~1 cycle/day).
+	n := 1832
+	got := CyclesPerDay(14, n, 660)
+	if math.Abs(got-1.0) > 0.01 {
+		t.Fatalf("bin 14 of 14-day series = %v cyc/day, want ~1", got)
+	}
+	if CyclesPerDay(5, 0, 660) != 0 || BinFrequencyHz(5, 100, 0) != 0 {
+		t.Fatal("degenerate inputs should yield 0")
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func BenchmarkFFTPow2_4096(b *testing.B) {
+	x := randomComplex(rand.New(rand.NewSource(9)), 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFTBluestein_4580(b *testing.B) {
+	// 35 days of 11-minute rounds ≈ 4580 samples: the A12w shape.
+	x := randomComplex(rand.New(rand.NewSource(10)), 4580)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkGoertzelSingleBin_4580(b *testing.B) {
+	r := rand.New(rand.NewSource(11))
+	x := make([]float64, 4580)
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Goertzel(x, 35)
+	}
+}

@@ -1,0 +1,176 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Spectrum holds the one-sided interpretation of the DFT of a real series:
+// bins 0..n/2, with per-bin amplitude and phase. Bin k corresponds to k
+// cycles over the whole series (k/(n*dt) Hz for sample spacing dt).
+type Spectrum struct {
+	// N is the length of the original series.
+	N int
+	// Coef holds the complex DFT coefficients for bins 0..n/2 inclusive.
+	Coef []complex128
+	// Amp holds |Coef[k]| for each retained bin. Amp[0] is the DC magnitude.
+	Amp []float64
+}
+
+// NewSpectrum computes the one-sided spectrum of the real series x.
+// The series mean (DC) is retained in bin 0 but is excluded by the peak
+// helpers, which look for periodic structure only.
+func NewSpectrum(x []float64) *Spectrum {
+	full := RealFFT(x)
+	n := len(x)
+	keep := n/2 + 1
+	if n == 0 {
+		keep = 0
+	}
+	s := &Spectrum{
+		N:    n,
+		Coef: full[:keep:keep],
+		Amp:  make([]float64, keep),
+	}
+	for k := 0; k < keep; k++ {
+		s.Amp[k] = cmplx.Abs(full[k])
+	}
+	return s
+}
+
+// Bins returns the number of retained (one-sided) bins.
+func (s *Spectrum) Bins() int { return len(s.Amp) }
+
+// Phase returns the phase angle of bin k in radians in (-pi, pi].
+func (s *Spectrum) Phase(k int) float64 {
+	if k < 0 || k >= len(s.Coef) {
+		return 0
+	}
+	return cmplx.Phase(s.Coef[k])
+}
+
+// Peak returns the non-DC bin with the largest amplitude and that amplitude.
+// It returns (0, 0) when the spectrum has no non-DC bins.
+func (s *Spectrum) Peak() (bin int, amp float64) {
+	for k := 1; k < len(s.Amp); k++ {
+		if s.Amp[k] > amp {
+			bin, amp = k, s.Amp[k]
+		}
+	}
+	return bin, amp
+}
+
+// PeakExcluding returns the strongest non-DC bin whose index is not rejected
+// by skip. It returns (0, 0) if every bin is rejected.
+func (s *Spectrum) PeakExcluding(skip func(k int) bool) (bin int, amp float64) {
+	for k := 1; k < len(s.Amp); k++ {
+		if skip != nil && skip(k) {
+			continue
+		}
+		if s.Amp[k] > amp {
+			bin, amp = k, s.Amp[k]
+		}
+	}
+	return bin, amp
+}
+
+// AmpAt returns the amplitude of bin k, or 0 when out of range.
+func (s *Spectrum) AmpAt(k int) float64 {
+	if k < 0 || k >= len(s.Amp) {
+		return 0
+	}
+	return s.Amp[k]
+}
+
+// IsHarmonicOf reports whether bin k is an exact harmonic (integer multiple,
+// tolerance tol bins) of the fundamental bin f. The fundamental itself is not
+// considered its own harmonic.
+func IsHarmonicOf(k, f, tol int) bool {
+	if f <= 0 || k <= f {
+		return false
+	}
+	m := (k + f/2) / f // nearest multiple
+	if m < 2 {
+		return false
+	}
+	return abs(k-m*f) <= tol
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Detrend subtracts the mean from x in a fresh slice. Removing DC before
+// spectral peak-hunting keeps bin 0 from dwarfing periodic structure.
+func Detrend(x []float64) []float64 {
+	out := make([]float64, len(x))
+	if len(x) == 0 {
+		return out
+	}
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	for i, v := range x {
+		out[i] = v - mean
+	}
+	return out
+}
+
+// DetrendLinear removes the least-squares line from x in a fresh slice.
+func DetrendLinear(x []float64) []float64 {
+	out := make([]float64, len(x))
+	n := float64(len(x))
+	if len(x) == 0 {
+		return out
+	}
+	var sx, sy, sxx, sxy float64
+	for i, v := range x {
+		fi := float64(i)
+		sx += fi
+		sy += v
+		sxx += fi * fi
+		sxy += fi * v
+	}
+	den := n*sxx - sx*sx
+	var slope, intercept float64
+	if den != 0 {
+		slope = (n*sxy - sx*sy) / den
+		intercept = (sy - slope*sx) / n
+	} else {
+		intercept = sy / n
+	}
+	for i, v := range x {
+		out[i] = v - (intercept + slope*float64(i))
+	}
+	return out
+}
+
+// BinFrequencyHz converts bin k of an n-sample series with sample period
+// dtSeconds to a frequency in hertz (k / (n*dt)).
+func BinFrequencyHz(k, n int, dtSeconds float64) float64 {
+	if n == 0 || dtSeconds == 0 {
+		return 0
+	}
+	return float64(k) / (float64(n) * dtSeconds)
+}
+
+// CyclesPerDay converts bin k of an n-sample series with sample period
+// dtSeconds into cycles per day, the unit the paper reports (Fig 10).
+func CyclesPerDay(k, n int, dtSeconds float64) float64 {
+	return BinFrequencyHz(k, n, dtSeconds) * 86400
+}
+
+// Sine synthesizes amp*sin(2*pi*cycles*t/n + phase) sampled at t=0..n-1.
+// It is a convenience for tests and simulations.
+func Sine(n int, cycles, amp, phase float64) []float64 {
+	out := make([]float64, n)
+	for t := 0; t < n; t++ {
+		out[t] = amp * math.Sin(2*math.Pi*cycles*float64(t)/float64(n)+phase)
+	}
+	return out
+}

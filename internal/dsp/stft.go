@@ -1,0 +1,105 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// HannWindow returns the n-point Hann window.
+func HannWindow(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// Spectrogram computes a short-time Fourier transform magnitude matrix:
+// frames of length window, advanced by hop samples, Hann-windowed. Frame f,
+// bin k holds |FFT(x[f*hop : f*hop+window] * hann)[k]| for k in 0..window/2.
+// It is the diagnostic for non-stationary blocks: a block that switches
+// from always-on to diurnal mid-measurement shows its diurnal line appear
+// partway through the spectrogram.
+func Spectrogram(x []float64, window, hop int) ([][]float64, error) {
+	if window <= 1 || hop <= 0 {
+		return nil, fmt.Errorf("dsp: spectrogram needs window > 1 and hop > 0 (%d, %d)", window, hop)
+	}
+	if len(x) < window {
+		return nil, fmt.Errorf("dsp: series of %d shorter than window %d", len(x), window)
+	}
+	hann := HannWindow(window)
+	frames := 1 + (len(x)-window)/hop
+	keep := window/2 + 1
+	out := make([][]float64, frames)
+	buf := make([]float64, window)
+	for f := 0; f < frames; f++ {
+		start := f * hop
+		for i := 0; i < window; i++ {
+			buf[i] = x[start+i] * hann[i]
+		}
+		spec := NewSpectrum(buf)
+		row := make([]float64, keep)
+		copy(row, spec.Amp)
+		out[f] = row
+	}
+	return out, nil
+}
+
+// Autocorrelation returns the biased sample autocorrelation of x for lags
+// 0..maxLag, computed in O(n log n) via the Wiener-Khinchin theorem
+// (FFT of the power spectrum). ACF[0] is 1 for any non-constant series.
+func Autocorrelation(x []float64, maxLag int) ([]float64, error) {
+	n := len(x)
+	if n < 2 {
+		return nil, fmt.Errorf("dsp: autocorrelation needs >= 2 samples")
+	}
+	if maxLag < 0 || maxLag >= n {
+		return nil, fmt.Errorf("dsp: maxLag %d out of range [0, %d)", maxLag, n)
+	}
+	d := Detrend(x)
+	// Zero-pad to avoid circular wrap.
+	m := nextPow2(2 * n)
+	cx := make([]complex128, m)
+	for i, v := range d {
+		cx[i] = complex(v, 0)
+	}
+	fftRadix2InPlace(cx, false)
+	for i := range cx {
+		re := real(cx[i])
+		im := imag(cx[i])
+		cx[i] = complex(re*re+im*im, 0)
+	}
+	fftRadix2InPlace(cx, true)
+	norm := real(cx[0])
+	out := make([]float64, maxLag+1)
+	if norm == 0 {
+		// Constant series: define ACF as zero beyond lag 0.
+		out[0] = 1
+		return out, nil
+	}
+	for lag := 0; lag <= maxLag; lag++ {
+		out[lag] = real(cx[lag]) / norm
+	}
+	return out, nil
+}
+
+// DominantLag returns the lag in [minLag, maxLag] with the largest
+// autocorrelation and that value. It is the time-domain counterpart of the
+// spectral peak: a diurnal series peaks at the one-day lag.
+func DominantLag(acf []float64, minLag, maxLag int) (lag int, value float64, err error) {
+	if minLag < 1 || maxLag >= len(acf) || minLag > maxLag {
+		return 0, 0, fmt.Errorf("dsp: lag range [%d, %d] invalid for acf of %d", minLag, maxLag, len(acf))
+	}
+	lag = minLag
+	value = acf[minLag]
+	for l := minLag + 1; l <= maxLag; l++ {
+		if acf[l] > value {
+			lag, value = l, acf[l]
+		}
+	}
+	return lag, value, nil
+}

@@ -1,0 +1,143 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHannWindow(t *testing.T) {
+	w := HannWindow(8)
+	if w[0] != 0 || w[7] != 0 {
+		t.Fatalf("endpoints = %v, %v", w[0], w[7])
+	}
+	// Symmetric, peaked in the middle.
+	for i := 0; i < 4; i++ {
+		if math.Abs(w[i]-w[7-i]) > 1e-12 {
+			t.Fatal("window not symmetric")
+		}
+	}
+	if w[3] < 0.8 {
+		t.Fatalf("middle = %v", w[3])
+	}
+	if got := HannWindow(1); got[0] != 1 {
+		t.Fatalf("n=1 window = %v", got)
+	}
+}
+
+func TestSpectrogramDetectsRegimeChange(t *testing.T) {
+	// First half flat, second half a 16-sample-period sine: the sine's bin
+	// should carry energy only in late frames.
+	n := 4096
+	x := make([]float64, n)
+	for i := n / 2; i < n; i++ {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 16)
+	}
+	window, hop := 512, 256
+	frames, err := Spectrogram(x, window, hop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := window / 16 // 16-sample period -> bin window/16
+	early := frames[0][bin]
+	late := frames[len(frames)-1][bin]
+	if late < 10*early+1 {
+		t.Fatalf("late energy %v should dwarf early %v", late, early)
+	}
+	if len(frames[0]) != window/2+1 {
+		t.Fatalf("bins = %d", len(frames[0]))
+	}
+}
+
+func TestSpectrogramErrors(t *testing.T) {
+	if _, err := Spectrogram(make([]float64, 100), 1, 10); err == nil {
+		t.Fatal("window 1 should error")
+	}
+	if _, err := Spectrogram(make([]float64, 100), 64, 0); err == nil {
+		t.Fatal("hop 0 should error")
+	}
+	if _, err := Spectrogram(make([]float64, 10), 64, 16); err == nil {
+		t.Fatal("short series should error")
+	}
+}
+
+func TestAutocorrelationPeriodic(t *testing.T) {
+	// Period-20 sine: ACF peaks at lag 20.
+	n := 2000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 20)
+	}
+	acf, err := Autocorrelation(x, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acf[0]-1) > 1e-9 {
+		t.Fatalf("acf[0] = %v", acf[0])
+	}
+	lag, v, err := DominantLag(acf, 10, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag != 20 && lag != 40 {
+		t.Fatalf("dominant lag = %d, want 20 (or 40)", lag)
+	}
+	if v < 0.9 {
+		t.Fatalf("peak acf = %v", v)
+	}
+}
+
+func TestAutocorrelationWhiteNoiseFlat(t *testing.T) {
+	// Deterministic pseudo-noise via a simple LCG.
+	n := 4000
+	x := make([]float64, n)
+	state := uint64(12345)
+	for i := range x {
+		state = state*6364136223846793005 + 1442695040888963407
+		x[i] = float64(state>>11)/(1<<53) - 0.5
+	}
+	acf, err := Autocorrelation(x, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lag := 1; lag <= 100; lag++ {
+		if math.Abs(acf[lag]) > 0.1 {
+			t.Fatalf("acf[%d] = %v, want near zero", lag, acf[lag])
+		}
+	}
+}
+
+func TestAutocorrelationConstantSeries(t *testing.T) {
+	x := []float64{5, 5, 5, 5, 5, 5}
+	acf, err := Autocorrelation(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acf[0] != 1 || acf[1] != 0 {
+		t.Fatalf("constant acf = %v", acf)
+	}
+}
+
+func TestAutocorrelationErrors(t *testing.T) {
+	if _, err := Autocorrelation([]float64{1}, 0); err == nil {
+		t.Fatal("single sample should error")
+	}
+	if _, err := Autocorrelation([]float64{1, 2, 3}, 5); err == nil {
+		t.Fatal("maxLag >= n should error")
+	}
+	if _, _, err := DominantLag([]float64{1, 0.5}, 0, 1); err == nil {
+		t.Fatal("minLag 0 should error")
+	}
+	if _, _, err := DominantLag([]float64{1, 0.5}, 1, 5); err == nil {
+		t.Fatal("out-of-range maxLag should error")
+	}
+}
+
+func BenchmarkAutocorrelation4580(b *testing.B) {
+	x := Sine(4580, 35, 1, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Autocorrelation(x, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package geo
+
+import (
+	"math"
+	"testing"
+
+	"sleepnet/internal/netsim"
+	"sleepnet/internal/world"
+)
+
+func TestBuildAndLookup(t *testing.T) {
+	entries := []Entry{
+		{ID: netsim.MakeBlockID(2, 0, 0), Lat: 10, Lon: 20, Country: "AA"},
+		{ID: netsim.MakeBlockID(1, 0, 0), Lat: -5, Lon: 30, Country: "BB"},
+	}
+	db := Build(entries)
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	e, ok := db.Lookup(netsim.MakeBlockID(1, 0, 0))
+	if !ok || e.Country != "BB" || e.Lat != -5 {
+		t.Fatalf("lookup = %+v %v", e, ok)
+	}
+	if _, ok := db.Lookup(netsim.MakeBlockID(9, 9, 9)); ok {
+		t.Fatal("missing block should not resolve")
+	}
+}
+
+func TestFromWorldCoverage(t *testing.T) {
+	w, err := world.Generate(world.Config{Blocks: 3000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := FromWorld(w, 0.93, 5)
+	frac := float64(db.Len()) / float64(len(w.Blocks))
+	if math.Abs(frac-0.93) > 0.02 {
+		t.Fatalf("coverage = %v, want ~0.93", frac)
+	}
+	// Full coverage.
+	full := FromWorld(w, 1, 5)
+	if full.Len() != len(w.Blocks) {
+		t.Fatalf("full coverage = %d of %d", full.Len(), len(w.Blocks))
+	}
+	// Entries agree with ground truth.
+	for _, b := range w.Blocks[:50] {
+		e, ok := full.Lookup(b.ID)
+		if !ok {
+			t.Fatalf("block %s missing at full coverage", b.ID)
+		}
+		if e.Country != b.Country.Code || e.Lat != b.Lat || e.Lon != b.Lon {
+			t.Fatalf("entry %+v != block %+v", e, b)
+		}
+	}
+	// Default coverage when 0 passed.
+	def := FromWorld(w, 0, 5)
+	if math.Abs(float64(def.Len())/float64(len(w.Blocks))-0.93) > 0.02 {
+		t.Fatal("default coverage should be 0.93")
+	}
+}
+
+func TestGridBasics(t *testing.T) {
+	g, err := NewGrid(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nx, ny := g.Dims()
+	if nx != 180 || ny != 90 {
+		t.Fatalf("dims = %d x %d", nx, ny)
+	}
+	g.Add(34.0, -118.2, true)  // Los Angeles, diurnal
+	g.Add(34.5, -118.9, false) // same 2x2 cell
+	g.Add(35.6, 139.7, false)  // Tokyo
+	if got := g.CountAt(34.3, -118.5); got != 2 {
+		t.Fatalf("LA cell count = %d", got)
+	}
+	if got := g.FractionAt(34.3, -118.5); got != 0.5 {
+		t.Fatalf("LA cell fraction = %v", got)
+	}
+	if got := g.CountAt(35.6, 139.7); got != 1 {
+		t.Fatalf("Tokyo cell = %d", got)
+	}
+	if !math.IsNaN(g.FractionAt(0, 0)) {
+		t.Fatal("empty cell fraction should be NaN")
+	}
+	if g.NonEmptyCells() != 2 {
+		t.Fatalf("non-empty cells = %d", g.NonEmptyCells())
+	}
+	if g.MaxCount() != 2 {
+		t.Fatalf("MaxCount = %d", g.MaxCount())
+	}
+	cells := g.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("Cells = %d", len(cells))
+	}
+	// LA cell center: lon bucket of -118.2 -> [-120,-118) center -119.
+	if cells[0].LonCenter != -119 && cells[1].LonCenter != -119 {
+		t.Fatalf("cells = %+v", cells)
+	}
+}
+
+func TestGridEdgeClamping(t *testing.T) {
+	g, err := NewGrid(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly on the antimeridian and poles must not panic.
+	g.Add(90, 180, false)
+	g.Add(-90, -180, false)
+	g.Add(91, 181, false) // out of range clamps
+	if g.NonEmptyCells() != 2 {
+		t.Fatalf("cells = %d", g.NonEmptyCells())
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	if _, err := NewGrid(0); err == nil {
+		t.Fatal("zero cell should error")
+	}
+	if _, err := NewGrid(120); err == nil {
+		t.Fatal("oversize cell should error")
+	}
+}
+
+func TestGridCentroidAnomalyVisible(t *testing.T) {
+	// Country-centroid blocks pile into one cell: the Fig 12 artifact.
+	w, err := world.Generate(world.Config{Blocks: 4000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGrid(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := FromWorld(w, 1, 1)
+	us := world.CountryByCode("US")
+	for _, b := range w.Blocks {
+		e, ok := db.Lookup(b.ID)
+		if !ok {
+			continue
+		}
+		g.Add(e.Lat, e.Lon, false)
+	}
+	// The US centroid cell should be disproportionately full relative to a
+	// typical uniformly-populated US cell (~7% of ~1400 US blocks pile onto
+	// one cell).
+	centroidCount := g.CountAt(us.CenterLat(), us.CenterLon())
+	if centroidCount < 30 {
+		t.Fatalf("centroid cell only has %d blocks", centroidCount)
+	}
+}

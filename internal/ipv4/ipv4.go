@@ -1,0 +1,160 @@
+// Package ipv4 implements the IPv4 header (RFC 791): marshalling and
+// parsing with header checksum validation, plus the encapsulation helpers
+// the prober and the simulated network use so that every probe travels as
+// a full IPv4(ICMP) packet — exercising the same header construction,
+// validation, and TTL handling a live prober would.
+package ipv4
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol numbers used here.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// HeaderLen is the length of a header without options; options are not
+// used by the prober and are rejected on parse for simplicity and safety.
+const HeaderLen = 20
+
+// DefaultTTL is the initial TTL the prober stamps on probes.
+const DefaultTTL = 64
+
+// MaxPacket bounds accepted packet sizes (standard Ethernet MTU).
+const MaxPacket = 1500
+
+// Common errors.
+var (
+	ErrTruncated = errors.New("ipv4: packet truncated")
+	ErrVersion   = errors.New("ipv4: not an IPv4 packet")
+	ErrChecksum  = errors.New("ipv4: bad header checksum")
+	ErrOptions   = errors.New("ipv4: options not supported")
+	ErrLength    = errors.New("ipv4: inconsistent length")
+)
+
+// Addr is an IPv4 address as four octets.
+type Addr [4]byte
+
+// String renders the dotted quad.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// Uint32 packs the address big-endian.
+func (a Addr) Uint32() uint32 { return binary.BigEndian.Uint32(a[:]) }
+
+// AddrFromUint32 unpacks a big-endian address.
+func AddrFromUint32(v uint32) Addr {
+	var a Addr
+	binary.BigEndian.PutUint32(a[:], v)
+	return a
+}
+
+// Header is an IPv4 header without options.
+type Header struct {
+	TOS      byte
+	ID       uint16
+	DontFrag bool
+	TTL      byte
+	Protocol byte
+	Src, Dst Addr
+	// TotalLen is filled on parse; Marshal computes it from the payload.
+	TotalLen uint16
+}
+
+// Marshal encodes the header followed by the payload, computing lengths
+// and the header checksum.
+func (h *Header) Marshal(payload []byte) ([]byte, error) {
+	total := HeaderLen + len(payload)
+	if total > MaxPacket {
+		return nil, fmt.Errorf("%w: %d bytes", ErrLength, total)
+	}
+	b := make([]byte, total)
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:4], uint16(total))
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	if h.DontFrag {
+		b[6] = 0x40
+	}
+	ttl := h.TTL
+	if ttl == 0 {
+		ttl = DefaultTTL
+	}
+	b[8] = ttl
+	b[9] = h.Protocol
+	copy(b[12:16], h.Src[:])
+	copy(b[16:20], h.Dst[:])
+	binary.BigEndian.PutUint16(b[10:12], headerChecksum(b[:HeaderLen]))
+	copy(b[HeaderLen:], payload)
+	return b, nil
+}
+
+// Parse decodes and validates a packet, returning the header and a view of
+// the payload (not copied).
+func Parse(b []byte) (*Header, []byte, error) {
+	if len(b) < HeaderLen {
+		return nil, nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	if b[0]>>4 != 4 {
+		return nil, nil, fmt.Errorf("%w: version %d", ErrVersion, b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl != HeaderLen {
+		return nil, nil, fmt.Errorf("%w: IHL %d", ErrOptions, ihl)
+	}
+	if headerChecksum(b[:HeaderLen]) != 0 {
+		return nil, nil, ErrChecksum
+	}
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total < HeaderLen || total > len(b) {
+		return nil, nil, fmt.Errorf("%w: total %d of %d", ErrLength, total, len(b))
+	}
+	h := &Header{
+		TOS:      b[1],
+		ID:       binary.BigEndian.Uint16(b[4:6]),
+		DontFrag: b[6]&0x40 != 0,
+		TTL:      b[8],
+		Protocol: b[9],
+		TotalLen: uint16(total),
+	}
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	return h, b[HeaderLen:total], nil
+}
+
+// DecrementTTL returns a copy of the packet with TTL reduced by hops and
+// the checksum fixed up. ok is false when the TTL would reach zero (the
+// packet dies in transit, as a router would signal with time-exceeded).
+func DecrementTTL(b []byte, hops int) (out []byte, ok bool) {
+	if len(b) < HeaderLen || hops <= 0 {
+		return b, len(b) >= HeaderLen
+	}
+	ttl := int(b[8])
+	if ttl <= hops {
+		return nil, false
+	}
+	out = append([]byte(nil), b...)
+	out[8] = byte(ttl - hops)
+	out[10], out[11] = 0, 0
+	binary.BigEndian.PutUint16(out[10:12], headerChecksum(out[:HeaderLen]))
+	return out, true
+}
+
+// headerChecksum is the RFC 1071 checksum over the header; a valid header
+// (including its checksum field) sums to zero.
+func headerChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,146 @@
+package netsim
+
+import (
+	"math"
+	"time"
+)
+
+// Behavior models how one address responds over time. Implementations must
+// be deterministic: two calls with the same time quantum return the same
+// answer.
+type Behavior interface {
+	// Up reports whether the address answers a probe arriving at t.
+	Up(t time.Time) bool
+	// EverActive reports whether the address responds at least sometimes;
+	// never-active addresses are outside E(b) and outside ground-truth A.
+	EverActive() bool
+}
+
+// simEpoch anchors day and round arithmetic. Any fixed instant works; this
+// one matches the A12w collection start date for cosmetic familiarity.
+var simEpoch = time.Date(2013, time.April, 1, 0, 0, 0, 0, time.UTC)
+
+// secondsSinceEpoch converts t to simulation seconds.
+func secondsSinceEpoch(t time.Time) float64 {
+	return t.Sub(simEpoch).Seconds()
+}
+
+// AlwaysOn is an address that answers every probe.
+type AlwaysOn struct{}
+
+func (AlwaysOn) Up(time.Time) bool { return true }
+func (AlwaysOn) EverActive() bool  { return true }
+
+// Dead is an address that never answers (outside E(b)).
+type Dead struct{}
+
+func (Dead) Up(time.Time) bool { return false }
+func (Dead) EverActive() bool  { return false }
+
+// Intermittent answers each probing quantum independently with probability
+// P — the "dense but low availability" population of Figure 2. Quantum is
+// the consistency window; probes within the same quantum get the same
+// answer. A zero Quantum defaults to the 11-minute round.
+type Intermittent struct {
+	P       float64
+	Quantum time.Duration
+	Seed    uint64
+}
+
+func (b Intermittent) quantum() float64 {
+	if b.Quantum <= 0 {
+		return 660
+	}
+	return b.Quantum.Seconds()
+}
+
+func (b Intermittent) Up(t time.Time) bool {
+	if b.P <= 0 {
+		return false
+	}
+	if b.P >= 1 {
+		return true
+	}
+	q := uint64(secondsSinceEpoch(t) / b.quantum())
+	return prfFloat(b.Seed, q, 0x1a7e) < b.P
+}
+
+func (b Intermittent) EverActive() bool { return b.P > 0 }
+
+// Diurnal answers during one contiguous on-period per day and is silent
+// otherwise — the §3.2.2 controlled model. The on-period of day d starts at
+// Phase + N(0, StartSigma) after local midnight (all times UTC in the
+// simulator; the world layer shifts Phase by longitude) and lasts
+// Duration + N(0, DurationSigma), with per-day noise drawn independently
+// per address. Periods may spill across midnight.
+type Diurnal struct {
+	Phase         time.Duration // daily on-period start offset from midnight
+	Duration      time.Duration // mean on-period length
+	StartSigma    time.Duration // per-day start-time noise (σs)
+	DurationSigma time.Duration // per-day duration noise (σd)
+	UpProb        float64       // answer probability while on; 0 means 1.0
+	Seed          uint64
+}
+
+func (b Diurnal) EverActive() bool { return b.Duration > 0 }
+
+func (b Diurnal) Up(t time.Time) bool {
+	if b.Duration <= 0 {
+		return false
+	}
+	sec := secondsSinceEpoch(t)
+	day := int64(sec) / 86400
+	if sec < 0 {
+		day--
+	}
+	// A probe at time t can fall in today's period or the tail of
+	// yesterday's period when it spills past midnight.
+	if b.inPeriod(sec, day) || b.inPeriod(sec, day-1) {
+		if b.UpProb <= 0 || b.UpProb >= 1 {
+			return true
+		}
+		q := uint64(sec / 660)
+		return prfFloat(b.Seed, q, 0xd1a2) < b.UpProb
+	}
+	return false
+}
+
+// inPeriod reports whether sec falls within day d's on-period.
+func (b Diurnal) inPeriod(sec float64, d int64) bool {
+	start := float64(d)*86400 + b.Phase.Seconds()
+	if b.StartSigma > 0 {
+		start += prfNorm(b.Seed, uint64(d), 0x57a7) * b.StartSigma.Seconds()
+	}
+	dur := b.Duration.Seconds()
+	if b.DurationSigma > 0 {
+		dur += prfNorm(b.Seed, uint64(d), 0xd0b1) * b.DurationSigma.Seconds()
+		if dur < 0 {
+			dur = 0
+		}
+	}
+	return sec >= start && sec < start+dur
+}
+
+// Periodic answers during a fraction of every period P — used to model
+// non-24h periodicities such as DHCP lease cycles (§4 "Daily or other
+// periodicity?").
+type Periodic struct {
+	Period time.Duration // full cycle length
+	Duty   float64       // fraction of the cycle spent up, in (0,1]
+	Offset time.Duration // phase offset of the cycle start
+}
+
+func (b Periodic) EverActive() bool { return b.Period > 0 && b.Duty > 0 }
+
+func (b Periodic) Up(t time.Time) bool {
+	if b.Period <= 0 || b.Duty <= 0 {
+		return false
+	}
+	if b.Duty >= 1 {
+		return true
+	}
+	p := b.Period.Seconds()
+	sec := secondsSinceEpoch(t) - b.Offset.Seconds()
+	phase := sec - math.Floor(sec/p)*p
+	return phase < b.Duty*p
+}

@@ -1,0 +1,195 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BlockID identifies a /24 prefix by its upper 24 bits; the low byte of the
+// packed value is zero. 1.9.21/24 is BlockID(0x01091500).
+type BlockID uint32
+
+// MakeBlockID packs the three prefix octets of a /24.
+func MakeBlockID(a, b, c byte) BlockID {
+	return BlockID(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8)
+}
+
+// String renders the prefix as "a.b.c/24".
+func (id BlockID) String() string {
+	return fmt.Sprintf("%d.%d.%d/24", byte(id>>24), byte(id>>16), byte(id>>8))
+}
+
+// Addr returns the full address of host h within the block.
+func (id BlockID) Addr(h byte) Addr { return Addr{Block: id, Host: h} }
+
+// Addr is one IPv4 address: a /24 block plus the host octet.
+type Addr struct {
+	Block BlockID
+	Host  byte
+}
+
+// String renders the dotted-quad address.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a.Block>>24), byte(a.Block>>16), byte(a.Block>>8), a.Host)
+}
+
+// key packs the address for PRF use.
+func (a Addr) key() uint64 { return uint64(a.Block) | uint64(a.Host) }
+
+// IP returns the address as four octets (for IPv4 encapsulation).
+func (a Addr) IP() [4]byte {
+	return [4]byte{byte(a.Block >> 24), byte(a.Block >> 16), byte(a.Block >> 8), a.Host}
+}
+
+// AddrFromIP converts four octets into an Addr.
+func AddrFromIP(ip [4]byte) Addr {
+	return Addr{Block: MakeBlockID(ip[0], ip[1], ip[2]), Host: ip[3]}
+}
+
+// Interval is a half-open time span [Start, End).
+type Interval struct {
+	Start, End time.Time
+}
+
+// Contains reports whether t falls inside the interval.
+func (iv Interval) Contains(t time.Time) bool {
+	return !t.Before(iv.Start) && t.Before(iv.End)
+}
+
+// Block is one simulated /24: 256 address behaviours plus path
+// characteristics and an outage schedule.
+type Block struct {
+	ID BlockID
+	// Behaviors maps host octet to behaviour; nil entries never respond.
+	Behaviors [256]Behavior
+	// Loss is the probability a probe or its reply is lost in transit
+	// (applied once per round trip).
+	Loss float64
+	// LatencyBase and LatencyJitter shape the reported round-trip time.
+	LatencyBase   time.Duration
+	LatencyJitter time.Duration
+	// Outages lists spans when the whole block is unreachable.
+	Outages []Interval
+	// Hops is the path length from the vantage point; zero derives a
+	// deterministic 8..23 from the block id. Probes whose IPv4 TTL cannot
+	// cover the path die in transit.
+	Hops int
+	// ReplyRateLimit caps ICMP replies per minute for the whole block
+	// (real gateways rate-limit echo responses); zero means unlimited.
+	ReplyRateLimit int
+	// GatewayUnreachableProb is the probability that, while the block is
+	// in an outage, an upstream gateway answers a probe with an ICMP
+	// destination-unreachable instead of silence — a negative-but-
+	// informative answer, unlike a timeout.
+	GatewayUnreachableProb float64
+	// Seed decorrelates this block's loss/latency draws from other blocks.
+	Seed uint64
+
+	rl rateLimitState
+}
+
+// rateLimitState tracks the per-minute reply budget.
+type rateLimitState struct {
+	mu     sync.Mutex
+	window int64
+	count  int
+}
+
+// allowReply charges one reply against the block's per-minute budget.
+func (b *Block) allowReply(t time.Time) bool {
+	if b.ReplyRateLimit <= 0 {
+		return true
+	}
+	w := t.Unix() / 60
+	b.rl.mu.Lock()
+	defer b.rl.mu.Unlock()
+	if w != b.rl.window {
+		b.rl.window = w
+		b.rl.count = 0
+	}
+	if b.rl.count >= b.ReplyRateLimit {
+		return false
+	}
+	b.rl.count++
+	return true
+}
+
+// PathHops returns the effective hop count.
+func (b *Block) PathHops() int {
+	if b.Hops > 0 {
+		return b.Hops
+	}
+	return 8 + int(uint64(b.ID)>>8%16)
+}
+
+// InOutage reports whether the block is down at t.
+func (b *Block) InOutage(t time.Time) bool {
+	for _, iv := range b.Outages {
+		if iv.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// EverActive returns the host octets whose behaviour ever responds — the
+// E(b) set that ground truth availability and Trinocular's address walk are
+// defined over.
+func (b *Block) EverActive() []byte {
+	var out []byte
+	for h := 0; h < 256; h++ {
+		if bh := b.Behaviors[h]; bh != nil && bh.EverActive() {
+			out = append(out, byte(h))
+		}
+	}
+	return out
+}
+
+// RespondsAt reports whether host h answers a probe at t, accounting for
+// block outages but not path loss.
+func (b *Block) RespondsAt(h byte, t time.Time) bool {
+	bh := b.Behaviors[h]
+	if bh == nil || b.InOutage(t) {
+		return false
+	}
+	return bh.Up(t)
+}
+
+// TrueA returns ground-truth availability at t: the fraction of E(b)
+// answering, as a survey probing every address would measure. Blocks with
+// empty E(b) report 0.
+func (b *Block) TrueA(t time.Time) float64 {
+	ever := 0
+	up := 0
+	down := b.InOutage(t)
+	for h := 0; h < 256; h++ {
+		bh := b.Behaviors[h]
+		if bh == nil || !bh.EverActive() {
+			continue
+		}
+		ever++
+		if !down && bh.Up(t) {
+			up++
+		}
+	}
+	if ever == 0 {
+		return 0
+	}
+	return float64(up) / float64(ever)
+}
+
+// SurveyRow records every address's response at one instant — one row of
+// the survey strip charts at the top of Figures 1–3.
+func (b *Block) SurveyRow(t time.Time) [256]bool {
+	var row [256]bool
+	if b.InOutage(t) {
+		return row
+	}
+	for h := 0; h < 256; h++ {
+		if bh := b.Behaviors[h]; bh != nil && bh.Up(t) {
+			row[h] = true
+		}
+	}
+	return row
+}

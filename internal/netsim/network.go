@@ -1,0 +1,232 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sleepnet/internal/icmp"
+	"sleepnet/internal/ipv4"
+)
+
+// Response is the outcome of one probe round trip.
+type Response struct {
+	// Data is the raw reply packet; nil when the probe timed out.
+	Data []byte
+	// RTT is the simulated round-trip time for delivered replies.
+	RTT time.Duration
+	// Timeout is true when no reply arrived (address down, block in outage,
+	// or packet loss) — indistinguishable causes, as on the real Internet.
+	Timeout bool
+}
+
+// Counters accumulates network-wide accounting, used to check the paper's
+// "<20 probes per hour per /24" claim.
+type Counters struct {
+	Probes      atomic.Int64
+	Replies     atomic.Int64
+	Timeouts    atomic.Int64
+	Lost        atomic.Int64
+	Malformed   atomic.Int64
+	RateLimited atomic.Int64
+}
+
+// Network is the simulated Internet edge: a set of /24 blocks addressable
+// by ICMP echo probes. Probe is safe for concurrent use; topology mutation
+// (AddBlock) must not race with probing.
+type Network struct {
+	mu     sync.RWMutex
+	blocks map[BlockID]*Block
+	seed   uint64
+
+	// Stats counts global probe outcomes.
+	Stats Counters
+	// perBlockProbes counts probes per block for radiation-budget checks.
+	perBlockProbes sync.Map // BlockID -> *atomic.Int64
+}
+
+// NewNetwork creates an empty simulated network with the given seed.
+func NewNetwork(seed uint64) *Network {
+	return &Network{blocks: make(map[BlockID]*Block), seed: seed}
+}
+
+// AddBlock registers a block. Re-adding a BlockID replaces it.
+func (n *Network) AddBlock(b *Block) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocks[b.ID] = b
+}
+
+// Block returns the block with the given id, or nil.
+func (n *Network) Block(id BlockID) *Block {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.blocks[id]
+}
+
+// NumBlocks returns the number of registered blocks.
+func (n *Network) NumBlocks() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.blocks)
+}
+
+// BlockIDs returns all registered block ids (unordered).
+func (n *Network) BlockIDs() []BlockID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]BlockID, 0, len(n.blocks))
+	for id := range n.blocks {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Probe sends the marshalled ICMP packet pkt to dst at virtual time now and
+// returns the outcome. Malformed probes are dropped (counted, timeout), as
+// a real network stack would discard them.
+func (n *Network) Probe(dst Addr, pkt []byte, now time.Time) Response {
+	n.Stats.Probes.Add(1)
+	n.countBlockProbe(dst.Block)
+
+	echo, err := icmp.ParseEcho(pkt)
+	if err != nil || echo.Reply {
+		n.Stats.Malformed.Add(1)
+		return Response{Timeout: true}
+	}
+
+	n.mu.RLock()
+	blk := n.blocks[dst.Block]
+	n.mu.RUnlock()
+	if blk == nil {
+		// Unrouted space: silence.
+		n.Stats.Timeouts.Add(1)
+		return Response{Timeout: true}
+	}
+
+	// Path loss, one Bernoulli draw per round trip, keyed so retransmissions
+	// (new seq) redraw but duplicates (same seq) are consistent.
+	if blk.Loss > 0 {
+		k := prfFloat(n.seed^blk.Seed, dst.key(), uint64(echo.ID)<<16|uint64(echo.Seq), uint64(now.UnixNano()))
+		if k < blk.Loss {
+			n.Stats.Lost.Add(1)
+			n.Stats.Timeouts.Add(1)
+			return Response{Timeout: true}
+		}
+	}
+
+	if !blk.RespondsAt(dst.Host, now) {
+		// During an outage an upstream gateway may answer on the block's
+		// behalf with destination-unreachable.
+		if blk.GatewayUnreachableProb > 0 && blk.InOutage(now) {
+			u := prfFloat(n.seed^blk.Seed^0x6a7e, dst.key(), uint64(echo.Seq), uint64(now.UnixNano()))
+			if u < blk.GatewayUnreachableProb {
+				un, err := (&icmp.Unreachable{Code: icmp.CodeHostUnreachable, Original: pkt}).Marshal()
+				if err == nil {
+					n.Stats.Replies.Add(1)
+					return Response{Data: un, RTT: blk.LatencyBase}
+				}
+			}
+		}
+		n.Stats.Timeouts.Add(1)
+		return Response{Timeout: true}
+	}
+
+	if !blk.allowReply(now) {
+		n.Stats.RateLimited.Add(1)
+		n.Stats.Timeouts.Add(1)
+		return Response{Timeout: true}
+	}
+
+	reply, err := icmp.ReplyTo(echo).Marshal()
+	if err != nil {
+		// Cannot happen for a parsed request, but fail closed.
+		n.Stats.Malformed.Add(1)
+		return Response{Timeout: true}
+	}
+	rtt := blk.LatencyBase
+	if blk.LatencyJitter > 0 {
+		j := prfFloat(n.seed^blk.Seed^0x9badcafe, dst.key(), uint64(echo.Seq), uint64(now.UnixNano()))
+		rtt += time.Duration(j * float64(blk.LatencyJitter))
+	}
+	n.Stats.Replies.Add(1)
+	return Response{Data: reply, RTT: rtt}
+}
+
+// DeliverIP routes a full IPv4 packet into the simulated edge: the header
+// is parsed and validated, the destination is taken from it, the path's
+// hop count is charged against the TTL, and the ICMP payload is delivered
+// as Probe would. Replies come back IPv4-encapsulated with source and
+// destination swapped. This is the path real probes take; Probe remains
+// for callers that operate below the IP layer.
+func (n *Network) DeliverIP(pkt []byte, now time.Time) Response {
+	hdr, payload, err := ipv4.Parse(pkt)
+	if err != nil || hdr.Protocol != ipv4.ProtoICMP {
+		n.Stats.Probes.Add(1)
+		n.Stats.Malformed.Add(1)
+		return Response{Timeout: true}
+	}
+	dst := AddrFromIP(hdr.Dst)
+	n.mu.RLock()
+	blk := n.blocks[dst.Block]
+	n.mu.RUnlock()
+	if blk != nil {
+		// The packet must survive the path.
+		if _, ok := ipv4.DecrementTTL(pkt, blk.PathHops()); !ok {
+			n.Stats.Probes.Add(1)
+			n.countBlockProbe(dst.Block)
+			n.Stats.Timeouts.Add(1)
+			return Response{Timeout: true}
+		}
+	}
+	resp := n.Probe(dst, payload, now)
+	if resp.Timeout || resp.Data == nil {
+		return resp
+	}
+	replyHdr := &ipv4.Header{
+		ID:       hdr.ID,
+		TTL:      byte(ipv4.DefaultTTL - min(blk.PathHops(), ipv4.DefaultTTL-1)),
+		Protocol: ipv4.ProtoICMP,
+		Src:      hdr.Dst,
+		Dst:      hdr.Src,
+	}
+	wrapped, err := replyHdr.Marshal(resp.Data)
+	if err != nil {
+		n.Stats.Malformed.Add(1)
+		return Response{Timeout: true}
+	}
+	resp.Data = wrapped
+	return resp
+}
+
+func (n *Network) countBlockProbe(id BlockID) {
+	v, ok := n.perBlockProbes.Load(id)
+	if !ok {
+		v, _ = n.perBlockProbes.LoadOrStore(id, new(atomic.Int64))
+	}
+	v.(*atomic.Int64).Add(1)
+}
+
+// ProbesToBlock returns how many probes were addressed to the block.
+func (n *Network) ProbesToBlock(id BlockID) int64 {
+	if v, ok := n.perBlockProbes.Load(id); ok {
+		return v.(*atomic.Int64).Load()
+	}
+	return 0
+}
+
+// ProbeRatePerHour converts a probe count over an observation window into
+// the per-hour rate the paper budgets against background radiation.
+func ProbeRatePerHour(probes int64, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(probes) / window.Hours()
+}
+
+// String summarizes counters for logs.
+func (c *Counters) String() string {
+	return fmt.Sprintf("probes=%d replies=%d timeouts=%d lost=%d malformed=%d",
+		c.Probes.Load(), c.Replies.Load(), c.Timeouts.Load(), c.Lost.Load(), c.Malformed.Load())
+}

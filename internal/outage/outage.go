@@ -1,0 +1,138 @@
+// Package outage analyzes the block-state transitions the Trinocular-style
+// prober emits: it reconstructs outage episodes, computes per-block
+// reliability summaries (availability, MTBF, MTTR), and aggregates them —
+// the paper's companion analysis ("we correlate diurnal usage and outages
+// to economic factors", §7).
+package outage
+
+import (
+	"fmt"
+	"math"
+
+	"sleepnet/internal/core"
+)
+
+// Episode is one contiguous down period, in probing rounds.
+type Episode struct {
+	// Start is the round the block was declared down.
+	Start int
+	// End is the round the block recovered; for an outage still open at
+	// the end of measurement, End == totalRounds and Ongoing is true.
+	End     int
+	Ongoing bool
+}
+
+// Rounds returns the episode length in rounds.
+func (e Episode) Rounds() int { return e.End - e.Start }
+
+// Episodes reconstructs outage episodes from a block's ordered state
+// transitions. Events must alternate down/up as the prober emits them; a
+// leading recovery event (block started down) opens an episode at round 0.
+func Episodes(events []core.OutageEvent, totalRounds int) ([]Episode, error) {
+	if totalRounds < 0 {
+		return nil, fmt.Errorf("outage: negative totalRounds %d", totalRounds)
+	}
+	var eps []Episode
+	openStart := -1
+	for i, ev := range events {
+		if ev.Round < 0 || ev.Round > totalRounds {
+			return nil, fmt.Errorf("outage: event %d at round %d outside [0, %d]", i, ev.Round, totalRounds)
+		}
+		if i > 0 && ev.Round < events[i-1].Round {
+			return nil, fmt.Errorf("outage: events out of order at %d", i)
+		}
+		if ev.Down {
+			if openStart >= 0 {
+				return nil, fmt.Errorf("outage: double down event at round %d", ev.Round)
+			}
+			openStart = ev.Round
+		} else {
+			start := openStart
+			if start < 0 {
+				// Block was down from the beginning of measurement.
+				start = 0
+			}
+			eps = append(eps, Episode{Start: start, End: ev.Round})
+			openStart = -1
+		}
+	}
+	if openStart >= 0 {
+		eps = append(eps, Episode{Start: openStart, End: totalRounds, Ongoing: true})
+	}
+	return eps, nil
+}
+
+// Summary is a block's reliability over a measurement window.
+type Summary struct {
+	// Episodes is the number of distinct outages.
+	Episodes int
+	// DownRounds is the total number of rounds spent down.
+	DownRounds int
+	// TotalRounds is the measurement length.
+	TotalRounds int
+	// Uptime is 1 - DownRounds/TotalRounds.
+	Uptime float64
+	// MeanEpisodeRounds is the mean outage length (MTTR in rounds);
+	// NaN with no episodes.
+	MeanEpisodeRounds float64
+	// MTBFRounds is the mean number of rounds between outage starts;
+	// NaN with fewer than two episodes.
+	MTBFRounds float64
+}
+
+// Summarize computes the reliability summary from episodes.
+func Summarize(eps []Episode, totalRounds int) Summary {
+	s := Summary{Episodes: len(eps), TotalRounds: totalRounds}
+	for _, e := range eps {
+		s.DownRounds += e.Rounds()
+	}
+	if totalRounds > 0 {
+		s.Uptime = 1 - float64(s.DownRounds)/float64(totalRounds)
+	} else {
+		s.Uptime = math.NaN()
+	}
+	if len(eps) > 0 {
+		s.MeanEpisodeRounds = float64(s.DownRounds) / float64(len(eps))
+	} else {
+		s.MeanEpisodeRounds = math.NaN()
+	}
+	if len(eps) >= 2 {
+		span := eps[len(eps)-1].Start - eps[0].Start
+		s.MTBFRounds = float64(span) / float64(len(eps)-1)
+	} else {
+		s.MTBFRounds = math.NaN()
+	}
+	return s
+}
+
+// NinesString formats uptime as a conventional "three nines" style
+// percentage with two decimals.
+func (s Summary) NinesString() string {
+	if math.IsNaN(s.Uptime) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f%%", s.Uptime*100)
+}
+
+// Merge pools several block summaries into an aggregate (weighted by
+// rounds), for per-country or per-ISP reliability reporting.
+func Merge(summaries []Summary) Summary {
+	var agg Summary
+	for _, s := range summaries {
+		agg.Episodes += s.Episodes
+		agg.DownRounds += s.DownRounds
+		agg.TotalRounds += s.TotalRounds
+	}
+	if agg.TotalRounds > 0 {
+		agg.Uptime = 1 - float64(agg.DownRounds)/float64(agg.TotalRounds)
+	} else {
+		agg.Uptime = math.NaN()
+	}
+	if agg.Episodes > 0 {
+		agg.MeanEpisodeRounds = float64(agg.DownRounds) / float64(agg.Episodes)
+	} else {
+		agg.MeanEpisodeRounds = math.NaN()
+	}
+	agg.MTBFRounds = math.NaN()
+	return agg
+}

@@ -1,0 +1,162 @@
+package outage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sleepnet/internal/core"
+)
+
+func ev(round int, down bool) core.OutageEvent { return core.OutageEvent{Round: round, Down: down} }
+
+func TestEpisodesBasic(t *testing.T) {
+	eps, err := Episodes([]core.OutageEvent{ev(100, true), ev(130, false)}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 1 || eps[0].Start != 100 || eps[0].End != 130 || eps[0].Ongoing {
+		t.Fatalf("eps = %+v", eps)
+	}
+	if eps[0].Rounds() != 30 {
+		t.Fatalf("Rounds = %d", eps[0].Rounds())
+	}
+}
+
+func TestEpisodesMultipleAndOngoing(t *testing.T) {
+	events := []core.OutageEvent{
+		ev(10, true), ev(20, false),
+		ev(50, true), ev(80, false),
+		ev(900, true),
+	}
+	eps, err := Episodes(events, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 3 {
+		t.Fatalf("eps = %+v", eps)
+	}
+	last := eps[2]
+	if !last.Ongoing || last.End != 1000 || last.Rounds() != 100 {
+		t.Fatalf("ongoing = %+v", last)
+	}
+}
+
+func TestEpisodesLeadingRecovery(t *testing.T) {
+	// Block starts down; the first event is the recovery.
+	eps, err := Episodes([]core.OutageEvent{ev(40, false)}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 1 || eps[0].Start != 0 || eps[0].End != 40 {
+		t.Fatalf("eps = %+v", eps)
+	}
+}
+
+func TestEpisodesEmpty(t *testing.T) {
+	eps, err := Episodes(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 0 {
+		t.Fatalf("eps = %+v", eps)
+	}
+}
+
+func TestEpisodesErrors(t *testing.T) {
+	if _, err := Episodes([]core.OutageEvent{ev(10, true), ev(20, true)}, 100); err == nil {
+		t.Fatal("double down should error")
+	}
+	if _, err := Episodes([]core.OutageEvent{ev(50, true), ev(20, false)}, 100); err == nil {
+		t.Fatal("out-of-order should error")
+	}
+	if _, err := Episodes([]core.OutageEvent{ev(500, true)}, 100); err == nil {
+		t.Fatal("out-of-range should error")
+	}
+	if _, err := Episodes(nil, -1); err == nil {
+		t.Fatal("negative rounds should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	eps := []Episode{{Start: 100, End: 130}, {Start: 500, End: 520}}
+	s := Summarize(eps, 1000)
+	if s.Episodes != 2 || s.DownRounds != 50 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Uptime-0.95) > 1e-12 {
+		t.Fatalf("uptime = %v", s.Uptime)
+	}
+	if s.MeanEpisodeRounds != 25 {
+		t.Fatalf("MTTR = %v", s.MeanEpisodeRounds)
+	}
+	if s.MTBFRounds != 400 {
+		t.Fatalf("MTBF = %v", s.MTBFRounds)
+	}
+	if s.NinesString() != "95.00%" {
+		t.Fatalf("NinesString = %q", s.NinesString())
+	}
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	s := Summarize(nil, 100)
+	if s.Uptime != 1 || !math.IsNaN(s.MeanEpisodeRounds) || !math.IsNaN(s.MTBFRounds) {
+		t.Fatalf("no-outage summary = %+v", s)
+	}
+	s = Summarize(nil, 0)
+	if !math.IsNaN(s.Uptime) || s.NinesString() != "n/a" {
+		t.Fatalf("zero-rounds summary = %+v", s)
+	}
+	s = Summarize([]Episode{{Start: 10, End: 30}}, 100)
+	if !math.IsNaN(s.MTBFRounds) || s.MeanEpisodeRounds != 20 {
+		t.Fatalf("single-episode summary = %+v", s)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Summarize([]Episode{{Start: 0, End: 10}}, 100) // 90% up
+	b := Summarize(nil, 100)                            // 100% up
+	m := Merge([]Summary{a, b})
+	if m.TotalRounds != 200 || m.DownRounds != 10 || m.Episodes != 1 {
+		t.Fatalf("merge = %+v", m)
+	}
+	if math.Abs(m.Uptime-0.95) > 1e-12 {
+		t.Fatalf("merged uptime = %v", m.Uptime)
+	}
+	empty := Merge(nil)
+	if !math.IsNaN(empty.Uptime) {
+		t.Fatal("empty merge uptime should be NaN")
+	}
+}
+
+func TestEpisodesRoundTripProperty(t *testing.T) {
+	// Build random well-formed event sequences; Episodes must preserve
+	// total down rounds and never error.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		total := 200 + r.Intn(1000)
+		var events []core.OutageEvent
+		round := 0
+		wantDown := 0
+		for round < total-20 && r.Float64() < 0.7 {
+			start := round + 1 + r.Intn(50)
+			end := start + 1 + r.Intn(30)
+			if end >= total {
+				break
+			}
+			events = append(events, ev(start, true), ev(end, false))
+			wantDown += end - start
+			round = end
+		}
+		eps, err := Episodes(events, total)
+		if err != nil {
+			return false
+		}
+		s := Summarize(eps, total)
+		return s.DownRounds == wantDown && s.Episodes == len(events)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

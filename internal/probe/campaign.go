@@ -1,0 +1,150 @@
+package probe
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sleepnet/internal/core"
+	"sleepnet/internal/netsim"
+	"sleepnet/internal/trinocular"
+)
+
+// Campaign drives a set of blocks through synchronized probing rounds —
+// the way a real deployment works: all blocks advance through round r
+// before any block sees round r+1, with a bounded worker pool and an
+// optional global rate budget. (The per-block pipeline in internal/core
+// runs blocks independently, which is equivalent for analysis but does not
+// model a shared probing budget.)
+type Campaign struct {
+	Net    *netsim.Network
+	Start  time.Time
+	Period time.Duration
+	// Prober carries the Trinocular policy.
+	Prober trinocular.Config
+	// Workers bounds per-round parallelism (default 4).
+	Workers int
+	// Budget, when set, caps aggregate probes; blocks whose round does not
+	// fit the budget skip the round (recorded as a missing observation).
+	Budget *TokenBucket
+	// InitialA seeds the estimators.
+	InitialA float64
+	Seed     uint64
+}
+
+// BlockResult accumulates one block's campaign state.
+type BlockResult struct {
+	ID        netsim.BlockID
+	Estimator *core.Estimator
+	// Short is the recorded Âs value per round; NaN-free, rounds skipped
+	// by the budget hold the previous value.
+	Short []float64
+	// Skipped counts rounds lost to the probe budget.
+	Skipped int
+	// Events are outage transitions.
+	Events []core.OutageEvent
+}
+
+// Run probes all given blocks for the given number of rounds in lockstep.
+// It returns per-block results keyed by block id. Blocks rejected as too
+// sparse are omitted from the result with no error (matching the paper's
+// policy of silently excluding them from probing).
+func (c *Campaign) Run(ids []netsim.BlockID, rounds int) (map[netsim.BlockID]*BlockResult, error) {
+	if c.Net == nil {
+		return nil, fmt.Errorf("probe: campaign needs a network")
+	}
+	if rounds <= 0 {
+		return nil, fmt.Errorf("probe: campaign needs positive rounds")
+	}
+	period := c.Period
+	if period <= 0 {
+		period = 660 * time.Second
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	initialA := c.InitialA
+	if initialA == 0 {
+		initialA = 0.5
+	}
+
+	prober := trinocular.New(c.Net, c.Prober, c.Seed)
+	results := make(map[netsim.BlockID]*BlockResult)
+	var tracked []netsim.BlockID
+	for _, id := range ids {
+		blk := c.Net.Block(id)
+		if blk == nil {
+			return nil, fmt.Errorf("probe: block %s not in network", id)
+		}
+		if err := prober.AddBlock(id, blk.EverActive()); err != nil {
+			continue // sparse: excluded by policy
+		}
+		tracked = append(tracked, id)
+		results[id] = &BlockResult{
+			ID:        id,
+			Estimator: core.NewEstimator(initialA),
+			Short:     make([]float64, 0, rounds),
+		}
+	}
+
+	// Lockstep rounds: a worker pool sweeps the tracked blocks each round.
+	// The prober supports concurrent rounds for distinct blocks, and each
+	// block's result is only touched by the worker that drew it, so no
+	// locking is needed beyond the channel.
+	budgetTokens := float64(c.Prober.MaxProbesPerRound)
+	if budgetTokens <= 0 {
+		budgetTokens = 15
+	}
+	for r := 0; r < rounds; r++ {
+		now := c.Start.Add(time.Duration(r) * period)
+		var wg sync.WaitGroup
+		ch := make(chan netsim.BlockID)
+		errCh := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for id := range ch {
+					res := results[id]
+					if c.Budget != nil && !c.Budget.Allow(now, budgetTokens) {
+						res.Skipped++
+						res.Short = append(res.Short, lastOr(res.Short, initialA))
+						continue
+					}
+					obs, err := prober.ProbeRound(id, now, res.Estimator.Operational())
+					if err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+						continue
+					}
+					res.Estimator.Observe(obs.Positive, obs.Total)
+					res.Short = append(res.Short, res.Estimator.ShortTerm())
+					if obs.Changed {
+						res.Events = append(res.Events, core.OutageEvent{Round: r, Down: !obs.Up})
+					}
+				}
+			}()
+		}
+		for _, id := range tracked {
+			ch <- id
+		}
+		close(ch)
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return nil, err
+		default:
+		}
+	}
+	return results, nil
+}
+
+func lastOr(s []float64, def float64) float64 {
+	if len(s) == 0 {
+		return def
+	}
+	return s[len(s)-1]
+}

@@ -1,0 +1,74 @@
+// Package probe provides the operational probing layer a deployment of the
+// measurement system needs: a token-bucket rate limiter to cap aggregate
+// probe rate (the paper's "do no harm" policy bounds probing to a small
+// fraction of background radiation), and a round-lockstep campaign
+// scheduler that drives many blocks through synchronized 11-minute rounds
+// with bounded parallelism, feeding each block's estimator as observations
+// arrive.
+package probe
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TokenBucket is a thread-safe token-bucket rate limiter over an injectable
+// clock, so simulations and tests can drive it with virtual time.
+type TokenBucket struct {
+	mu       sync.Mutex
+	rate     float64 // tokens per second
+	capacity float64
+	tokens   float64
+	last     time.Time
+}
+
+// NewTokenBucket creates a bucket refilling at rate tokens/second with the
+// given burst capacity, initially full. The first Allow call anchors the
+// clock.
+func NewTokenBucket(rate, capacity float64) (*TokenBucket, error) {
+	if rate <= 0 || capacity <= 0 {
+		return nil, fmt.Errorf("probe: token bucket needs positive rate and capacity (%v, %v)", rate, capacity)
+	}
+	return &TokenBucket{rate: rate, capacity: capacity, tokens: capacity}, nil
+}
+
+// Allow consumes n tokens at virtual time now and reports whether the
+// request fits the budget. Calls must use non-decreasing times; earlier
+// times are treated as equal to the latest seen.
+func (b *TokenBucket) Allow(now time.Time, n float64) bool {
+	if n <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		b.last = now
+	}
+	if now.After(b.last) {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.capacity {
+			b.tokens = b.capacity
+		}
+		b.last = now
+	}
+	if b.tokens >= n {
+		b.tokens -= n
+		return true
+	}
+	return false
+}
+
+// Available reports the current token balance at time now.
+func (b *TokenBucket) Available(now time.Time) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.tokens
+	if !b.last.IsZero() && now.After(b.last) {
+		t += now.Sub(b.last).Seconds() * b.rate
+		if t > b.capacity {
+			t = b.capacity
+		}
+	}
+	return t
+}

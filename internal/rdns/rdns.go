@@ -1,0 +1,242 @@
+// Package rdns synthesizes and classifies reverse DNS names, implementing
+// §2.3.3 of the paper. Classification matches each address's reverse name
+// non-exclusively against the 16 considered keywords (7 of which the paper
+// discards as too rare), builds a per-block feature vector over 256
+// addresses, suppresses features rarer than 1/15th of the dominant one, and
+// labels the block with everything that survives.
+//
+// Synthesis runs the other direction for the simulated world: given a
+// block's true access technology it produces names a real ISP of that kind
+// would publish, including the realities the paper reports — only ~46% of
+// blocks carry any keyword at all, and ~11% carry more than one.
+package rdns
+
+import (
+	"fmt"
+	"strings"
+
+	"sleepnet/internal/netsim"
+)
+
+// ConsideredKeywords are the 16 keywords of §2.3.3, in the paper's order.
+// The starred seven (rtr, gw, ded, client, sql, wireless, wifi) are
+// discarded because they dominate in fewer than 1000 blocks.
+var ConsideredKeywords = []string{
+	"sta", "dyn", "srv", "rtr", "gw", "dhcp", "ppp", "dsl",
+	"dial", "cable", "ded", "res", "client", "sql", "wireless", "wifi",
+}
+
+// DiscardedKeywords is the starred subset.
+var DiscardedKeywords = map[string]bool{
+	"rtr": true, "gw": true, "ded": true, "client": true,
+	"sql": true, "wireless": true, "wifi": true,
+}
+
+// KeptKeywords are the nine keywords the analysis retains (Fig 17).
+var KeptKeywords = []string{"sta", "dyn", "srv", "dhcp", "ppp", "dsl", "dial", "cable", "res"}
+
+// suppressionRatio drops features rarer than 1/15th of the dominant one.
+const suppressionRatio = 15
+
+// FeaturesOf returns the keywords found in one reverse name
+// (non-exclusive substring matching, lowercased). A name like
+// "dhcp-dialup-001.example.com" yields both "dhcp" and "dial".
+func FeaturesOf(name string) []string {
+	n := strings.ToLower(name)
+	var out []string
+	for _, kw := range ConsideredKeywords {
+		if strings.Contains(n, kw) {
+			out = append(out, kw)
+		}
+	}
+	return out
+}
+
+// BlockClassification is the outcome of classifying one /24.
+type BlockClassification struct {
+	// Features are the block's surviving labels (kept keywords only),
+	// in ConsideredKeywords order.
+	Features []string
+	// Counts maps every matched keyword (including discarded ones) to the
+	// number of addresses carrying it.
+	Counts map[string]int
+	// Named is the number of addresses that had a reverse name at all.
+	Named int
+}
+
+// HasFeature reports whether the block carries the feature.
+func (c BlockClassification) HasFeature(f string) bool {
+	for _, x := range c.Features {
+		if x == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Multi reports whether the block carries more than one surviving feature.
+func (c BlockClassification) Multi() bool { return len(c.Features) > 1 }
+
+// ClassifyBlock classifies a /24 given the reverse names of its addresses
+// (empty strings mean no PTR record). It applies the paper's rules: count
+// features across addresses, suppress minor features below 1/15th of the
+// most frequent, discard the seven starred keywords, and label with the
+// rest.
+func ClassifyBlock(names []string) BlockClassification {
+	out := BlockClassification{Counts: make(map[string]int)}
+	for _, n := range names {
+		if n == "" {
+			continue
+		}
+		out.Named++
+		for _, f := range FeaturesOf(n) {
+			out.Counts[f]++
+		}
+	}
+	max := 0
+	for _, c := range out.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return out
+	}
+	for _, kw := range ConsideredKeywords {
+		c := out.Counts[kw]
+		if c == 0 || DiscardedKeywords[kw] {
+			continue
+		}
+		if c*suppressionRatio < max {
+			continue // suppressed minor feature
+		}
+		out.Features = append(out.Features, kw)
+	}
+	return out
+}
+
+// linkKeywordToken maps a world link type to the name fragment an ISP of
+// that kind typically publishes.
+var linkKeywordToken = map[string]string{
+	"sta":   "static",
+	"dyn":   "dynamic",
+	"srv":   "srv",
+	"dhcp":  "dhcp",
+	"ppp":   "ppp",
+	"dsl":   "adsl",
+	"dial":  "dialup",
+	"cable": "cable",
+	"res":   "res",
+}
+
+// Synthesizer produces deterministic reverse names for simulated blocks.
+type Synthesizer struct {
+	// NamedFrac is the fraction of blocks that publish keyword-bearing
+	// names at all (paper: 46.3% of blocks have some feature).
+	NamedFrac float64
+	// MultiFrac is the fraction of blocks that publish names with two
+	// features (paper: 11.4% have multiple).
+	MultiFrac float64
+	Seed      uint64
+}
+
+// NewSynthesizer returns a Synthesizer with the paper's observed rates.
+func NewSynthesizer(seed uint64) *Synthesizer {
+	return &Synthesizer{NamedFrac: 0.463, MultiFrac: 0.114, Seed: seed}
+}
+
+// secondFeature pairs a primary link keyword with a plausible companion.
+var secondFeature = map[string]string{
+	"dyn":   "dhcp",
+	"dhcp":  "dynamic",
+	"dsl":   "dynamic",
+	"ppp":   "adsl",
+	"dial":  "ppp",
+	"cable": "res",
+	"res":   "cable",
+	"sta":   "srv",
+	"srv":   "static",
+}
+
+// BlockNames synthesizes the 256 reverse names for a block with the given
+// true link type and an ISP domain. Depending on the block's deterministic
+// draw it emits keyword names, dual-keyword names, or generic names with no
+// keywords (the unclassifiable majority).
+func (s *Synthesizer) BlockNames(id netsim.BlockID, linkType, domain string) []string {
+	names := make([]string, 256)
+	u := hashUnit(s.Seed, uint64(id), 1)
+	token := linkKeywordToken[linkType]
+	if token == "" {
+		token = "host"
+	}
+	style := styleGeneric
+	switch {
+	case u < s.MultiFrac:
+		style = styleMulti
+	case u < s.NamedFrac:
+		style = styleKeyword
+	}
+	for h := 0; h < 256; h++ {
+		// Some addresses have no PTR at all.
+		if hashUnit(s.Seed, uint64(id), uint64(h), 2) < 0.15 {
+			continue
+		}
+		switch style {
+		case styleMulti:
+			second := secondFeature[linkType]
+			if second == "" {
+				second = "dynamic"
+			}
+			names[h] = fmt.Sprintf("%s-%s-%03d.%s", token, second, h, domain)
+		case styleKeyword:
+			names[h] = fmt.Sprintf("%s-%03d.%s", token, h, domain)
+		default:
+			names[h] = fmt.Sprintf("host-%03d.%s", h, domain)
+		}
+	}
+	return names
+}
+
+type nameStyle int
+
+const (
+	styleGeneric nameStyle = iota
+	styleKeyword
+	styleMulti
+)
+
+// Domain derives a plausible ISP reverse-zone domain from an organization
+// name ("Brazil Telecom" -> "brazil-telecom.example.net"). Tokens that
+// accidentally contain a classification keyword (e.g. "Pakistan" contains
+// "sta") are replaced with a neutral hash so the zone name itself never
+// injects features — matching real classifiers, which match on the host
+// label, not the operator's zone.
+func Domain(org string) string {
+	fields := strings.Fields(strings.ToLower(org))
+	if len(fields) == 0 {
+		return "example.net"
+	}
+	for i, f := range fields {
+		for _, kw := range ConsideredKeywords {
+			if strings.Contains(f, kw) {
+				fields[i] = fmt.Sprintf("z%06d", uint32(hashUnit(0xd011a1, uint64(len(f)), uint64(f[0]))*999999))
+				break
+			}
+		}
+	}
+	return strings.Join(fields, "-") + ".example.net"
+}
+
+func hashUnit(seed uint64, parts ...uint64) float64 {
+	h := seed + 0x9e3779b97f4a7c15
+	mix := func(v uint64) uint64 {
+		v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+		v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+		return v ^ (v >> 31)
+	}
+	h = mix(h)
+	for _, p := range parts {
+		h = mix(h ^ p)
+	}
+	return float64(h>>11) / (1 << 53)
+}

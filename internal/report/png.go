@@ -1,0 +1,120 @@
+package report
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+)
+
+// HeatPNG renders a count matrix (rows x cols, row 0 at top) as a PNG
+// heatmap with a logarithmic dark-to-warm ramp — the image form of the
+// paper's Figure 12 world map. Cells with zero count are black.
+func HeatPNG(w io.Writer, counts [][]int, scale int) error {
+	if len(counts) == 0 || len(counts[0]) == 0 {
+		return fmt.Errorf("report: empty heatmap")
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	rows, cols := len(counts), len(counts[0])
+	maxC := 0
+	for _, row := range counts {
+		if len(row) != cols {
+			return fmt.Errorf("report: ragged heatmap")
+		}
+		for _, c := range row {
+			if c > maxC {
+				maxC = c
+			}
+		}
+	}
+	img := image.NewRGBA(image.Rect(0, 0, cols*scale, rows*scale))
+	logMax := math.Log1p(float64(maxC))
+	for y, row := range counts {
+		for x, c := range row {
+			var px color.RGBA
+			if c > 0 && logMax > 0 {
+				t := math.Log1p(float64(c)) / logMax
+				px = rampColor(t)
+			} else {
+				px = color.RGBA{A: 255}
+			}
+			fillCell(img, x, y, scale, px)
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// FractionPNG renders a fraction matrix in [0,1] (NaN = dark gray) with a
+// linear blue-to-red ramp — the image form of Figure 13.
+func FractionPNG(w io.Writer, fracs [][]float64, scale int) error {
+	if len(fracs) == 0 || len(fracs[0]) == 0 {
+		return fmt.Errorf("report: empty fraction map")
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	rows, cols := len(fracs), len(fracs[0])
+	img := image.NewRGBA(image.Rect(0, 0, cols*scale, rows*scale))
+	for y, row := range fracs {
+		if len(row) != cols {
+			return fmt.Errorf("report: ragged fraction map")
+		}
+		for x, f := range row {
+			var px color.RGBA
+			switch {
+			case math.IsNaN(f):
+				px = color.RGBA{R: 24, G: 24, B: 24, A: 255}
+			default:
+				if f < 0 {
+					f = 0
+				}
+				if f > 1 {
+					f = 1
+				}
+				px = divergingColor(f)
+			}
+			fillCell(img, x, y, scale, px)
+		}
+	}
+	return png.Encode(w, img)
+}
+
+func fillCell(img *image.RGBA, x, y, scale int, px color.RGBA) {
+	for dy := 0; dy < scale; dy++ {
+		for dx := 0; dx < scale; dx++ {
+			img.SetRGBA(x*scale+dx, y*scale+dy, px)
+		}
+	}
+}
+
+// rampColor maps t in [0,1] onto a black → orange → white ramp.
+func rampColor(t float64) color.RGBA {
+	r := clampByte(3 * t * 255)
+	g := clampByte((3*t - 1) * 255)
+	b := clampByte((3*t - 2) * 255)
+	return color.RGBA{R: r, G: g, B: b, A: 255}
+}
+
+// divergingColor maps f in [0,1] onto blue (0, always-on) → red (1, diurnal).
+func divergingColor(f float64) color.RGBA {
+	return color.RGBA{
+		R: clampByte(f * 255),
+		G: clampByte(64 * (1 - math.Abs(2*f-1))),
+		B: clampByte((1 - f) * 255),
+		A: 255,
+	}
+}
+
+func clampByte(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return uint8(v)
+}

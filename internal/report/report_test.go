@@ -1,0 +1,182 @@
+package report
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"code", "frac"}, [][]string{{"US", "0.002"}, {"CN", "0.498"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "code") || !strings.Contains(lines[3], "CN") {
+		t.Fatalf("table:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatal("missing rule")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 1, 10); got != "#####" {
+		t.Fatalf("Bar = %q", got)
+	}
+	if got := Bar(2, 1, 10); got != "##########" {
+		t.Fatalf("clamped Bar = %q", got)
+	}
+	if Bar(0.5, 0, 10) != "" || Bar(math.NaN(), 1, 10) != "" || Bar(0.5, 1, 0) != "" {
+		t.Fatal("degenerate bars should be empty")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart([]string{"dyn", "dial"}, []float64{0.19, 0.03}, 20)
+	if !strings.Contains(out, "dyn") || !strings.Contains(out, "dial") {
+		t.Fatalf("chart:\n%s", out)
+	}
+	// dyn bar longer than dial bar.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[0], "#") <= strings.Count(lines[1], "#") {
+		t.Fatalf("bar ordering wrong:\n%s", out)
+	}
+	if got := BarChart([]string{"a"}, []float64{1, 2}, 10); !strings.Contains(got, "mismatch") {
+		t.Fatal("mismatch should be reported")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i) / 10)
+	}
+	out := Series(vals, 40, 8)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("series has no points:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 { // top rule + 8 rows + bottom rule
+		t.Fatalf("height = %d", len(lines))
+	}
+	if Series(nil, 10, 5) != "" || Series(vals, 0, 5) != "" {
+		t.Fatal("degenerate series should be empty")
+	}
+	// Flat series should not panic.
+	if out := Series([]float64{1, 1, 1}, 10, 3); out == "" {
+		t.Fatal("flat series should render")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap([][]int{{0, 1}, {10, 100}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || len(lines[0]) != 2 {
+		t.Fatalf("heatmap shape:\n%s", out)
+	}
+	if lines[0][0] != ' ' {
+		t.Fatal("zero cell should be blank")
+	}
+	if lines[1][1] == ' ' || lines[1][1] == lines[0][1] {
+		t.Fatalf("ramp not increasing:\n%s", out)
+	}
+	if got := Heatmap([][]int{{0}}); !strings.Contains(got, "empty") {
+		t.Fatal("empty heatmap")
+	}
+}
+
+func TestFractionMap(t *testing.T) {
+	out := FractionMap([][]float64{{math.NaN(), 0, 0.5, 1}})
+	line := strings.Split(out, "\n")[0]
+	if line[0] != ' ' {
+		t.Fatal("NaN should be blank")
+	}
+	if line[1] != ' ' {
+		t.Fatal("zero renders blank")
+	}
+	if line[2] == ' ' || line[3] == ' ' {
+		t.Fatal("positive fractions should render")
+	}
+	// Out-of-range clamps rather than panics.
+	FractionMap([][]float64{{-1, 2}})
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.114); got != "11.4%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if Pct(math.NaN()) != "n/a" || F(math.NaN()) != "n/a" {
+		t.Fatal("NaN formatting")
+	}
+	if got := F(6.61e-8); got != "6.61e-08" {
+		t.Fatalf("F small = %q", got)
+	}
+	if got := F(0.5); got != "0.5000" {
+		t.Fatalf("F = %q", got)
+	}
+	if got := F(0); got != "0.0000" {
+		t.Fatalf("F zero = %q", got)
+	}
+}
+
+func TestHeatPNG(t *testing.T) {
+	counts := [][]int{{0, 1, 10}, {100, 1000, 0}}
+	var buf bytes.Buffer
+	if err := HeatPNG(&buf, counts, 4); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 12 || b.Dy() != 8 {
+		t.Fatalf("dims = %dx%d", b.Dx(), b.Dy())
+	}
+	// Zero cell is black, max cell is bright.
+	r0, g0, b0, _ := img.At(0, 0).RGBA()
+	if r0 != 0 || g0 != 0 || b0 != 0 {
+		t.Fatalf("zero cell = %v %v %v", r0, g0, b0)
+	}
+	rMax, gMax, _, _ := img.At(5, 5).RGBA() // the 1000 cell, scaled
+	if rMax == 0 && gMax == 0 {
+		t.Fatal("max cell should be bright")
+	}
+	if err := HeatPNG(&buf, nil, 1); err == nil {
+		t.Fatal("empty should error")
+	}
+	if err := HeatPNG(&buf, [][]int{{1, 2}, {3}}, 1); err == nil {
+		t.Fatal("ragged should error")
+	}
+}
+
+func TestFractionPNG(t *testing.T) {
+	fr := [][]float64{{0, 0.5, 1, math.NaN()}}
+	var buf bytes.Buffer
+	if err := FractionPNG(&buf, fr, 2); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f=0 is blue-dominant, f=1 red-dominant.
+	r0, _, b0, _ := img.At(0, 0).RGBA()
+	r1, _, b1, _ := img.At(5, 0).RGBA()
+	if !(b0 > r0) {
+		t.Fatalf("f=0 pixel r=%v b=%v, want blue", r0, b0)
+	}
+	if !(r1 > b1) {
+		t.Fatalf("f=1 pixel r=%v b=%v, want red", r1, b1)
+	}
+	if err := FractionPNG(&buf, nil, 1); err == nil {
+		t.Fatal("empty should error")
+	}
+	// Out-of-range fractions clamp.
+	if err := FractionPNG(&buf, [][]float64{{-3, 7}}, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSResult is the outcome of a two-sample Kolmogorov-Smirnov test.
+type KSResult struct {
+	// D is the supremum distance between the two empirical CDFs.
+	D float64
+	// P is the asymptotic p-value of the null hypothesis that both samples
+	// come from the same distribution.
+	P float64
+	// N1, N2 are the sample sizes.
+	N1, N2 int
+}
+
+// KSTest performs the two-sample Kolmogorov-Smirnov test, used here to
+// compare strongest-frequency distributions across vantage points (the
+// distributional strengthening of Table 2's block-level agreement).
+func KSTest(a, b []float64) (KSResult, error) {
+	n1, n2 := len(a), len(b)
+	if n1 == 0 || n2 == 0 {
+		return KSResult{}, fmt.Errorf("stats: KSTest needs non-empty samples (%d, %d)", n1, n2)
+	}
+	x := append([]float64(nil), a...)
+	y := append([]float64(nil), b...)
+	sort.Float64s(x)
+	sort.Float64s(y)
+	var d float64
+	i, j := 0, 0
+	for i < n1 && j < n2 {
+		// Advance through ties on both sides before comparing CDFs, so
+		// identical values never create a spurious gap.
+		v := math.Min(x[i], y[j])
+		for i < n1 && x[i] == v {
+			i++
+		}
+		for j < n2 && y[j] == v {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(n1) - float64(j)/float64(n2))
+		if diff > d {
+			d = diff
+		}
+	}
+	res := KSResult{D: d, N1: n1, N2: n2}
+	ne := float64(n1) * float64(n2) / float64(n1+n2)
+	res.P = ksPValue((math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d)
+	return res, nil
+}
+
+// ksPValue evaluates the Kolmogorov distribution's survival function
+// Q_KS(λ) = 2 Σ_{j>=1} (-1)^{j-1} exp(-2 j² λ²).
+func ksPValue(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := sign * math.Exp(-2*float64(j*j)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// BenjaminiHochberg controls the false discovery rate across m simultaneous
+// hypothesis tests: it returns a significance mask aligned with pvals,
+// marking the tests that survive at FDR level q. Table 5 tests fifteen
+// factor combinations at once, so a raw 0.05 threshold overstates
+// significance; the paper does not correct, and cmd/experiments reports
+// both views.
+func BenjaminiHochberg(pvals []float64, q float64) []bool {
+	m := len(pvals)
+	out := make([]bool, m)
+	if m == 0 || q <= 0 || q >= 1 {
+		return out
+	}
+	type pv struct {
+		p float64
+		i int
+	}
+	sorted := make([]pv, m)
+	for i, p := range pvals {
+		sorted[i] = pv{p, i}
+	}
+	sort.Slice(sorted, func(a, b int) bool {
+		pa, pb := sorted[a].p, sorted[b].p
+		if math.IsNaN(pa) {
+			return false // NaNs sort last
+		}
+		if math.IsNaN(pb) {
+			return true
+		}
+		return pa < pb
+	})
+	// Largest k with p_(k) <= k/m * q; all tests up to k are significant.
+	k := -1
+	for i, s := range sorted {
+		if !math.IsNaN(s.p) && s.p <= float64(i+1)/float64(m)*q {
+			k = i
+		}
+	}
+	for i := 0; i <= k; i++ {
+		out[sorted[i].i] = true
+	}
+	return out
+}

@@ -1,0 +1,440 @@
+// Package trinocular implements the adaptive outage prober the paper's
+// estimators consume (Quan, Heidemann, Pradkin, SIGCOMM 2013): per /24
+// block, each 11-minute round sends 1..15 ICMP echo probes to the block's
+// ever-active addresses in a pseudorandom cyclic walk, stopping as soon as
+// Bayesian belief about the block's state crosses a threshold — in
+// particular on the first positive response. The per-round observation
+// (p positives out of t probes) is deliberately biased toward positives;
+// the availability estimators in internal/core are designed around exactly
+// this bias (E[p]/E[t] = A for the truncated-geometric stopping rule).
+//
+// The prober also models the operational detail behind the paper's Figure
+// 10 artifact: the real deployment restarted its prober every 5.5 hours,
+// and restart rounds probe cold (single probe, reset belief), injecting
+// periodic variance at ~4.4 cycles/day.
+package trinocular
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sleepnet/internal/icmp"
+	"sleepnet/internal/ipv4"
+	"sleepnet/internal/netsim"
+)
+
+// ProbeNetwork is the slice of the network the prober needs: delivery of a
+// full IPv4 packet. *netsim.Network implements it; a raw-socket adapter
+// could too.
+type ProbeNetwork interface {
+	DeliverIP(pkt []byte, now time.Time) netsim.Response
+}
+
+// Config tunes the prober. The zero value is completed by defaults matching
+// the paper's deployment.
+type Config struct {
+	// MaxProbesPerRound caps probes per block per round (default 15).
+	MaxProbesPerRound int
+	// BeliefUp and BeliefDown are the posterior thresholds that stop a
+	// round (defaults 0.9 and 0.1).
+	BeliefUp   float64
+	BeliefDown float64
+	// MinEverActive rejects sparse blocks from probing (default 15); the
+	// paper's Trinocular policy, and the cause of its wireless false
+	// negatives at USC.
+	MinEverActive int
+	// RestartInterval models periodic prober restarts; rounds landing on a
+	// restart boundary probe cold. Zero disables restarts.
+	RestartInterval time.Duration
+	// RestartDowntimeFrac is the fraction of a round the prober is down
+	// during a restart. Blocks are probed at a stable offset within each
+	// round, so only blocks whose offset falls inside the downtime window
+	// experience the cold round — the same blocks every restart, which is
+	// what makes the artifact coherent for them and absent for the rest.
+	// Default 0.1.
+	RestartDowntimeFrac float64
+	// ProbeID is the ICMP identifier base for this prober instance.
+	ProbeID uint16
+	// PositiveWhenDown is the probability of a positive answer from a down
+	// block (spoofing/measurement error); it keeps the belief update
+	// well-defined. Default 1e-3.
+	PositiveWhenDown float64
+	// FixedProbes, when positive, disables adaptive stopping: every round
+	// sends exactly this many probes regardless of belief. This is the
+	// ablation baseline for the stop-on-first-positive policy — unbiased
+	// like the adaptive rule but far more expensive.
+	FixedProbes int
+	// SrcIP is the vantage point's source address stamped on probes.
+	// Defaults to 198.51.100.1 (TEST-NET-2).
+	SrcIP ipv4.Addr
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxProbesPerRound <= 0 {
+		c.MaxProbesPerRound = 15
+	}
+	if c.BeliefUp == 0 {
+		c.BeliefUp = 0.9
+	}
+	if c.BeliefDown == 0 {
+		c.BeliefDown = 0.1
+	}
+	if c.MinEverActive == 0 {
+		c.MinEverActive = 15
+	}
+	if c.PositiveWhenDown == 0 {
+		c.PositiveWhenDown = 1e-3
+	}
+	if c.RestartDowntimeFrac == 0 {
+		c.RestartDowntimeFrac = 0.1
+	}
+	if c.SrcIP == (ipv4.Addr{}) {
+		c.SrcIP = ipv4.Addr{198, 51, 100, 1}
+	}
+	return c
+}
+
+// ErrTooSparse is returned by AddBlock for blocks below MinEverActive.
+var ErrTooSparse = errors.New("trinocular: block has too few ever-active addresses")
+
+// RoundObs is the observation one probing round produces for one block.
+type RoundObs struct {
+	Round    int  // 0-based round counter for this block
+	Positive int  // positive responses (0 or 1 under stop-on-first-positive)
+	Total    int  // probes sent this round (1..MaxProbesPerRound)
+	Up       bool // block state according to belief after this round
+	Changed  bool // state flipped this round (outage start or recovery)
+	Cold     bool // this was a restart (cold) round
+	// Unreachable counts ICMP destination-unreachable answers this round —
+	// negative but informative evidence (a gateway confirmed the block is
+	// gone, rather than a probe simply timing out).
+	Unreachable int
+}
+
+// Rate returns the raw p/t ratio of the round.
+func (o RoundObs) Rate() float64 {
+	if o.Total == 0 {
+		return 0
+	}
+	return float64(o.Positive) / float64(o.Total)
+}
+
+// blockState is per-block prober memory.
+type blockState struct {
+	id     netsim.BlockID
+	walk   []byte // pseudorandom permutation of ever-active hosts
+	pos    int
+	belief float64
+	up     bool
+	round  int
+	seq    uint16
+	// downStreak counts consecutive rounds that concluded "down"; a block
+	// is only declared down after two such rounds (debouncing), because a
+	// single all-negative round happens by chance on low-availability
+	// blocks (0.7^12 ≈ 1.4% per round at A = 0.3) and would flood the
+	// outage log with false positives. Recovery needs no debounce — a
+	// positive response is near-conclusive evidence of up.
+	downStreak int
+}
+
+// Prober drives adaptive probing over a set of blocks. After all blocks
+// are added, ProbeRound may be called concurrently for *distinct* blocks;
+// concurrent rounds for the same block are not supported (a real prober
+// never probes one block twice in a round either).
+type Prober struct {
+	cfg       Config
+	net       ProbeNetwork
+	seed      uint64
+	epoch     time.Time // established on first round; restart phase reference
+	epochOnce sync.Once
+	states    map[netsim.BlockID]*blockState
+
+	probesSent atomic.Int64
+}
+
+// ProbesSent reports how many probes the prober has emitted.
+func (p *Prober) ProbesSent() int64 { return p.probesSent.Load() }
+
+// New creates a prober over the given network.
+func New(net ProbeNetwork, cfg Config, seed uint64) *Prober {
+	return &Prober{
+		cfg:    cfg.withDefaults(),
+		net:    net,
+		seed:   seed,
+		states: make(map[netsim.BlockID]*blockState),
+	}
+}
+
+// AddBlock registers a block for probing given its historically ever-active
+// host octets (Trinocular seeds this from census history). Blocks with
+// fewer than MinEverActive hosts are rejected with ErrTooSparse.
+func (p *Prober) AddBlock(id netsim.BlockID, everActive []byte) error {
+	if len(everActive) < p.cfg.MinEverActive {
+		return fmt.Errorf("%w: %s has %d < %d", ErrTooSparse, id, len(everActive), p.cfg.MinEverActive)
+	}
+	st := &blockState{
+		id:     id,
+		walk:   append([]byte(nil), everActive...),
+		belief: 0.5,
+		up:     true,
+	}
+	shuffle(st.walk, p.seed^uint64(id))
+	p.states[id] = st
+	return nil
+}
+
+// Tracked reports whether the block was accepted for probing.
+func (p *Prober) Tracked(id netsim.BlockID) bool {
+	_, ok := p.states[id]
+	return ok
+}
+
+// NumTracked returns the number of blocks being probed.
+func (p *Prober) NumTracked() int { return len(p.states) }
+
+func shuffle(b []byte, seed uint64) {
+	r := rand.New(rand.NewSource(int64(seed)))
+	r.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+}
+
+// isColdRound reports whether now falls in the first round after a prober
+// restart boundary.
+func (p *Prober) isColdRound(now time.Time) bool {
+	if p.cfg.RestartInterval <= 0 {
+		return false
+	}
+	since := now.Sub(p.epoch)
+	if since < 0 {
+		return false
+	}
+	phase := since % p.cfg.RestartInterval
+	// A round is "cold" when it is the first round at or after a restart:
+	// the boundary fell within the preceding 11 minutes.
+	return phase < 11*time.Minute
+}
+
+// inDowntimeWindow reports whether the block's stable within-round probing
+// offset falls inside the restart downtime window.
+func (p *Prober) inDowntimeWindow(id netsim.BlockID) bool {
+	if p.cfg.RestartDowntimeFrac >= 1 {
+		return true
+	}
+	h := p.seed ^ uint64(id) ^ 0x0ff5e7
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	off := float64(h>>11) / (1 << 53)
+	return off < p.cfg.RestartDowntimeFrac
+}
+
+// ProbeRound probes one block once, at virtual time now, using the caller's
+// current operational availability estimate aOp (clamped to [0.1, 1] as the
+// paper's policy requires). It returns the round's biased observation.
+func (p *Prober) ProbeRound(id netsim.BlockID, now time.Time, aOp float64) (RoundObs, error) {
+	st, ok := p.states[id]
+	if !ok {
+		return RoundObs{}, fmt.Errorf("trinocular: block %s not tracked", id)
+	}
+	p.epochOnce.Do(func() { p.epoch = now })
+	if aOp < 0.1 {
+		aOp = 0.1
+	}
+	if aOp > 1 {
+		aOp = 1
+	}
+
+	obs := RoundObs{Round: st.round}
+	st.round++
+
+	maxProbes := p.cfg.MaxProbesPerRound
+	belief := st.belief
+	if p.isColdRound(now) && p.inDowntimeWindow(st.id) {
+		// Restart: the prober process came back with no memory — belief
+		// resets, the round probes cold, and the pseudorandom walk starts
+		// over from the beginning. The walk reset is what makes restarts
+		// visible in the data: cold rounds always sample the same leading
+		// addresses, whose availability differs from the block mean in
+		// heterogeneous blocks (the Fig 10 artifact at ~4.4 cycles/day).
+		obs.Cold = true
+		belief = 0.5
+		maxProbes = 1
+		st.pos = 0
+	}
+	// Keep the prior away from saturation so new evidence can move it.
+	belief = clamp(belief, 0.05, 0.95)
+
+	if p.cfg.FixedProbes > 0 && !obs.Cold {
+		maxProbes = p.cfg.FixedProbes
+	}
+	for obs.Total < maxProbes {
+		host := st.walk[st.pos]
+		st.pos = (st.pos + 1) % len(st.walk)
+		st.seq++
+		outcome := p.sendProbe(st, host, now)
+		obs.Total++
+		switch outcome {
+		case outcomePositive:
+			obs.Positive++
+			belief = updateBelief(belief, true, aOp, p.cfg.PositiveWhenDown)
+		case outcomeUnreachable:
+			obs.Unreachable++
+			// A gateway's destination-unreachable is much stronger down
+			// evidence than silence: likelihood ~1% if up, ~30% if down.
+			belief = applyLikelihoods(belief, 0.01, 0.3)
+		default:
+			belief = updateBelief(belief, false, aOp, p.cfg.PositiveWhenDown)
+		}
+		if p.cfg.FixedProbes <= 0 && (belief >= p.cfg.BeliefUp || belief <= p.cfg.BeliefDown) {
+			break
+		}
+	}
+
+	st.belief = belief
+	newUp := st.up
+	switch {
+	case belief >= p.cfg.BeliefUp:
+		newUp = true
+		st.downStreak = 0
+	case belief <= p.cfg.BeliefDown:
+		st.downStreak++
+		if st.downStreak >= 2 || !st.up {
+			newUp = false
+		}
+	default:
+		// In between: keep previous state (hysteresis).
+		st.downStreak = 0
+	}
+	obs.Changed = newUp != st.up
+	st.up = newUp
+	obs.Up = newUp
+	return obs, nil
+}
+
+// probeOutcome distinguishes what a probe round trip produced.
+type probeOutcome int
+
+const (
+	// outcomeNegative is silence (timeout) or an unusable reply.
+	outcomeNegative probeOutcome = iota
+	// outcomePositive is a matching echo reply.
+	outcomePositive
+	// outcomeUnreachable is an ICMP destination-unreachable quoting our
+	// probe — an informative negative.
+	outcomeUnreachable
+)
+
+// sendProbe emits one IPv4-encapsulated ICMP echo and classifies the
+// answer: a matching echo reply from the probed address is positive; a
+// destination-unreachable quoting our probe is an informative negative;
+// anything else (timeout, malformed, mismatched) counts as silence.
+func (p *Prober) sendProbe(st *blockState, host byte, now time.Time) probeOutcome {
+	target := st.id.Addr(host)
+	echoPkt, err := (&icmp.Echo{ID: p.cfg.ProbeID, Seq: st.seq}).Marshal()
+	if err != nil {
+		return outcomeNegative
+	}
+	hdr := &ipv4.Header{
+		ID:       st.seq,
+		TTL:      ipv4.DefaultTTL,
+		Protocol: ipv4.ProtoICMP,
+		Src:      p.cfg.SrcIP,
+		Dst:      ipv4.Addr(target.IP()),
+	}
+	pkt, err := hdr.Marshal(echoPkt)
+	if err != nil {
+		return outcomeNegative
+	}
+	p.probesSent.Add(1)
+	resp := p.net.DeliverIP(pkt, now)
+	if resp.Timeout || resp.Data == nil {
+		return outcomeNegative
+	}
+	rHdr, payload, err := ipv4.Parse(resp.Data)
+	if err != nil || rHdr.Protocol != ipv4.ProtoICMP {
+		return outcomeNegative
+	}
+	if rHdr.Dst != p.cfg.SrcIP {
+		return outcomeNegative
+	}
+	switch icmp.TypeOf(payload) {
+	case icmp.TypeDestUnreachable:
+		un, err := icmp.ParseUnreachable(payload)
+		if err != nil {
+			return outcomeNegative
+		}
+		// The quoted original must be our probe. Gateways may quote the
+		// full IPv4 datagram or just its ICMP payload; accept both.
+		inner := un.Original
+		if _, payload, perr := ipv4.Parse(inner); perr == nil {
+			inner = payload
+		}
+		orig, err := icmp.ParseEcho(inner)
+		if err != nil || orig.Reply || orig.ID != p.cfg.ProbeID || orig.Seq != st.seq {
+			return outcomeNegative
+		}
+		return outcomeUnreachable
+	case icmp.TypeEchoReply:
+		if rHdr.Src != ipv4.Addr(target.IP()) {
+			return outcomeNegative
+		}
+		reply, err := icmp.ParseEcho(payload)
+		if err != nil || !reply.Matches(p.cfg.ProbeID, st.seq) {
+			return outcomeNegative
+		}
+		return outcomePositive
+	default:
+		return outcomeNegative
+	}
+}
+
+// updateBelief applies one Bayesian update to the belief that the block is
+// up, given a positive or negative probe and the current availability
+// estimate a = P(reply | block up, random ever-active target).
+func updateBelief(b float64, positive bool, a, posWhenDown float64) float64 {
+	if positive {
+		return applyLikelihoods(b, a, posWhenDown)
+	}
+	return applyLikelihoods(b, 1-a, 1-posWhenDown)
+}
+
+// applyLikelihoods folds P(obs|up) and P(obs|down) into the belief.
+func applyLikelihoods(b, lUp, lDown float64) float64 {
+	num := lUp * b
+	den := num + lDown*(1-b)
+	if den == 0 {
+		return b
+	}
+	return num / den
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Belief exposes the current belief for a block (tests and diagnostics).
+func (p *Prober) Belief(id netsim.BlockID) (float64, bool) {
+	st, ok := p.states[id]
+	if !ok {
+		return 0, false
+	}
+	return st.belief, true
+}
+
+// Up reports the prober's current up/down state for the block.
+func (p *Prober) Up(id netsim.BlockID) (bool, bool) {
+	st, ok := p.states[id]
+	if !ok {
+		return false, false
+	}
+	return st.up, true
+}

@@ -1,0 +1,92 @@
+package world
+
+// Link technology labels follow the paper's §2.3.3 keyword set. Of the 16
+// keywords the paper considers, seven are discarded as too rare; the nine
+// that survive (Fig 17) are modelled here.
+const (
+	LinkStatic  = "sta"
+	LinkDynamic = "dyn"
+	LinkServer  = "srv"
+	LinkDHCP    = "dhcp"
+	LinkPPP     = "ppp"
+	LinkDSL     = "dsl"
+	LinkDialup  = "dial"
+	LinkCable   = "cable"
+	LinkRes     = "res"
+)
+
+// LinkTypes lists the nine modelled link technologies in Fig 17 order.
+var LinkTypes = []string{
+	LinkStatic, LinkDynamic, LinkServer, LinkDHCP, LinkPPP,
+	LinkDSL, LinkDialup, LinkCable, LinkRes,
+}
+
+// linkDiurnalMult scales a block's diurnal propensity by access technology,
+// encoding the paper's Fig 17 finding: dynamic addressing is strongly
+// diurnal (19%), DSL moderately (11%), dialup barely (<3% — dialup lines
+// are few but always-connected gear), static and server space barely at
+// all.
+var linkDiurnalMult = map[string]float64{
+	LinkStatic:  0.30,
+	LinkDynamic: 1.90,
+	LinkServer:  0.10,
+	LinkDHCP:    1.40,
+	LinkPPP:     1.20,
+	LinkDSL:     1.05,
+	LinkDialup:  0.22,
+	LinkCable:   0.55,
+	LinkRes:     0.90,
+}
+
+// LinkDiurnalMultiplier returns the technology multiplier (1.0 for unknown
+// technologies).
+func LinkDiurnalMultiplier(link string) float64 {
+	if m, ok := linkDiurnalMult[link]; ok {
+		return m
+	}
+	return 1
+}
+
+// richMix and poorMix are link-technology distributions for high- and
+// low-GDP countries; a country's mix interpolates between them by GDP.
+// Order matches LinkTypes.
+var (
+	richMix = []float64{0.16, 0.10, 0.08, 0.12, 0.06, 0.18, 0.02, 0.20, 0.08}
+	poorMix = []float64{0.06, 0.26, 0.03, 0.16, 0.14, 0.22, 0.07, 0.03, 0.03}
+)
+
+// LinkMixFor returns the per-technology probability vector for a country,
+// interpolated by GDP between the poor (GDP <= $4k) and rich (GDP >= $45k)
+// reference mixes. The vector sums to 1 and aligns with LinkTypes.
+func LinkMixFor(c *Country) []float64 {
+	const lo, hi = 4000.0, 45000.0
+	t := (c.GDP - lo) / (hi - lo)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	mix := make([]float64, len(LinkTypes))
+	var sum float64
+	for i := range mix {
+		mix[i] = (1-t)*poorMix[i] + t*richMix[i]
+		sum += mix[i]
+	}
+	for i := range mix {
+		mix[i] /= sum
+	}
+	return mix
+}
+
+// expectedLinkMult returns E[link multiplier] under the country's mix,
+// used to normalize per-block diurnal propensity so the country aggregate
+// matches its target fraction.
+func expectedLinkMult(c *Country) float64 {
+	mix := LinkMixFor(c)
+	var e float64
+	for i, lt := range LinkTypes {
+		e += mix[i] * linkDiurnalMult[lt]
+	}
+	return e
+}
