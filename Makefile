@@ -1,0 +1,27 @@
+# Development targets for the sleepnet reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race check fuzz
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: vet, build, and the full test suite under the race
+# detector.
+check: vet build race
+
+# fuzz runs the icmp parser fuzzer for a short budget.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=30s ./internal/icmp

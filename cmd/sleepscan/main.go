@@ -8,6 +8,8 @@
 // Usage:
 //
 //	sleepscan [-blocks N] [-days N] [-seed N] [-restarts] [-json]
+//	          [-loss P] [-corrupt P] [-ratelimit N] [-blackout-every D -blackout-for D]
+//	          [-skew D] [-drift D] [-retries N] [-checkpoint FILE [-resume]]
 package main
 
 import (
@@ -20,8 +22,10 @@ import (
 	"sleepnet/internal/analysis"
 	"sleepnet/internal/core"
 	"sleepnet/internal/dataset"
+	"sleepnet/internal/faults"
 	"sleepnet/internal/geo"
 	"sleepnet/internal/report"
+	"sleepnet/internal/trinocular"
 	"sleepnet/internal/world"
 )
 
@@ -34,6 +38,16 @@ func main() {
 	outages := flag.Float64("outages", 0.15, "base outage episodes per block-week (0 disables)")
 	savePath := flag.String("o", "", "save the measured dataset to this file")
 	csvPath := flag.String("csv", "", "export per-block records as CSV to this file")
+	loss := flag.Float64("loss", 0, "inject this probe loss probability")
+	corrupt := flag.Float64("corrupt", 0, "inject this reply corruption probability")
+	rateLimit := flag.Int("ratelimit", 0, "rate-limit probes per block per round (0 = off)")
+	blackoutEvery := flag.Duration("blackout-every", 0, "vantage blackout period (with -blackout-for)")
+	blackoutFor := flag.Duration("blackout-for", 0, "vantage blackout length (with -blackout-every)")
+	skew := flag.Duration("skew", 0, "constant prober clock skew")
+	drift := flag.Duration("drift", 0, "prober clock drift per day")
+	retries := flag.Int("retries", 0, "retry attempts per probe for local send failures (0 = off)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint measured blocks to this file")
+	resume := flag.Bool("resume", false, "resume from -checkpoint, skipping measured blocks")
 	flag.Parse()
 
 	w, err := world.Generate(world.Config{
@@ -47,6 +61,19 @@ func main() {
 		Seed:          *seed ^ 0x5ca9,
 		MissingRate:   0.03,
 		DuplicateRate: 0.02,
+		Faults: faults.Config{
+			Seed:              *seed ^ 0xfa17,
+			LossRate:          *loss,
+			CorruptRate:       *corrupt,
+			RateLimitPerRound: *rateLimit,
+			BlackoutEvery:     *blackoutEvery,
+			BlackoutFor:       *blackoutFor,
+			ClockSkew:         *skew,
+			ClockDriftPerDay:  *drift,
+		},
+		Retry:          trinocular.RetryConfig{MaxAttempts: *retries},
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
 	}
 	if *restarts {
 		cfg.RestartInterval = 5*time.Hour + 30*time.Minute
@@ -77,6 +104,26 @@ func main() {
 			"elapsedSeconds": elapsed.Seconds(),
 			"countries":      st.CountryTable(minBlocks),
 			"regions":        st.RegionTable(),
+			"errors":         st.ErrorCount(),
+			"partial":        st.PartialCount(),
+			"quarantined":    st.QuarantinedCount(),
+		}
+		if msg := st.FirstError(); msg != "" {
+			out["firstError"] = msg
+		}
+		if cfg.Faults.Active() {
+			fs := st.FaultTotals()
+			failed, rt, se, rl := st.DegradationTotals()
+			out["faults"] = map[string]any{
+				"dropped":          fs.Dropped,
+				"rateLimited":      fs.RateLimited,
+				"sendErrors":       fs.SendErrors,
+				"corrupted":        fs.Corrupted,
+				"failedRounds":     failed,
+				"retries":          rt,
+				"probeSendErrors":  se,
+				"probeRateLimited": rl,
+			}
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -87,6 +134,16 @@ func main() {
 	fmt.Printf("sleepscan: %d blocks probed for %d days in %v\n",
 		len(st.Measured()), *days, elapsed.Round(time.Millisecond))
 	fmt.Printf("probing budget: %.1f probes/block/hour (paper budget: < 20)\n\n", st.ProbeBudget())
+	if n := st.ErrorCount(); n > 0 {
+		fmt.Printf("measurement errors: %d blocks (first: %s)\n\n", n, st.FirstError())
+	}
+	if cfg.Faults.Active() {
+		fs := st.FaultTotals()
+		failed, rt, se, rl := st.DegradationTotals()
+		fmt.Printf("fault injection: %s\n", fs)
+		fmt.Printf("degradation: failed rounds=%d retries=%d send errors=%d rate limited=%d\n", failed, rt, se, rl)
+		fmt.Printf("population: %d partial, %d quarantined\n\n", st.PartialCount(), st.QuarantinedCount())
+	}
 	fmt.Printf("strictly diurnal: %d (%s)   relaxed: %d   non-diurnal: %d\n",
 		counts[core.StrictDiurnal], report.Pct(strict),
 		counts[core.RelaxedDiurnal], counts[core.NonDiurnal])

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"sleepnet/internal/core"
+	"sleepnet/internal/faults"
 	"sleepnet/internal/outage"
 	"sleepnet/internal/trinocular"
 	"sleepnet/internal/world"
@@ -55,8 +56,33 @@ type MeasuredBlock struct {
 	Outage outage.Summary
 	// Sparse marks blocks Trinocular refused to probe (policy floor).
 	Sparse bool
-	// Err records any other per-block failure.
-	Err error
+	// ErrMsg records any other per-block failure (empty when measured).
+	ErrMsg string
+	// Partial marks blocks measured through recoverable gaps: some rounds
+	// produced no observation (blackout, rate limiting) and were gap-filled
+	// before classification. Partial blocks still count as measured.
+	Partial bool
+	// Quarantined marks blocks whose failed-round fraction crossed the
+	// study's quarantine threshold; their classification is unreliable and
+	// they are excluded from aggregates.
+	Quarantined bool
+	// FailedRounds, Retries, SendErrors and RateLimited are the block's
+	// degradation counters from the probing run.
+	FailedRounds int
+	Retries      int
+	SendErrors   int
+	RateLimited  int
+	// Faults is the injector's per-block accounting, when a fault model was
+	// active.
+	Faults faults.Stats
+}
+
+// Err returns the recorded failure as an error, or nil.
+func (b MeasuredBlock) Err() error {
+	if b.ErrMsg == "" {
+		return nil
+	}
+	return errors.New(b.ErrMsg)
 }
 
 // Study is a measured world: the block population with classifications.
@@ -81,6 +107,19 @@ type StudyConfig struct {
 	MissingRate, DuplicateRate float64
 	// Start overrides the campaign start time.
 	Start time.Time
+	// Faults, when active, attaches a fault injector to the world's network
+	// for the duration of the measurement. Its Epoch defaults to Start.
+	Faults faults.Config
+	// Retry forwards the prober's retry policy for vantage-local failures.
+	Retry trinocular.RetryConfig
+	// QuarantineFailedFrac is the failed-round fraction above which a block
+	// is quarantined instead of classified (default 0.25).
+	QuarantineFailedFrac float64
+	// CheckpointPath, when set, appends each measured block to a JSONL
+	// checkpoint file as it completes.
+	CheckpointPath string
+	// Resume skips blocks already present in CheckpointPath.
+	Resume bool
 }
 
 func (c StudyConfig) withDefaults() StudyConfig {
@@ -92,6 +131,9 @@ func (c StudyConfig) withDefaults() StudyConfig {
 	}
 	if c.Start.IsZero() {
 		c.Start = DefaultStart
+	}
+	if c.QuarantineFailedFrac == 0 {
+		c.QuarantineFailedFrac = 0.25
 	}
 	return c
 }
@@ -109,28 +151,92 @@ func MeasureWorld(w *world.World, sc StudyConfig) (*Study, error) {
 		Seed:          sc.Seed,
 		MissingRate:   sc.MissingRate,
 		DuplicateRate: sc.DuplicateRate,
-		Prober:        trinocular.Config{RestartInterval: sc.RestartInterval},
+		Prober:        trinocular.Config{RestartInterval: sc.RestartInterval, Retry: sc.Retry},
 	}
 	pl := core.NewPipeline(w.Net, cfg)
 	study := &Study{World: w, Cfg: pl.Config(), Blocks: make([]MeasuredBlock, len(w.Blocks))}
 
+	// Attach the fault injector for the duration of the measurement.
+	var inj *faults.Injector
+	if sc.Faults.Active() {
+		fc := sc.Faults
+		if fc.Epoch.IsZero() {
+			fc.Epoch = sc.Start
+		}
+		inj = faults.New(fc)
+		w.Net.SetTap(inj)
+		defer w.Net.SetTap(nil)
+	}
+
+	// Block-level checkpointing: blocks measured by a previous (killed) run
+	// are loaded from the JSONL file and skipped; newly measured blocks are
+	// appended as they complete.
+	var cw *checkpointWriter
+	done := make(map[int]bool)
+	if sc.CheckpointPath != "" {
+		var err error
+		cw, done, err = openCheckpoint(sc.CheckpointPath, w, sc, study)
+		if err != nil {
+			return nil, err
+		}
+		defer cw.Close()
+	}
+
 	var wg sync.WaitGroup
 	idxCh := make(chan int)
+	errCh := make(chan error, sc.Workers)
 	for wk := 0; wk < sc.Workers; wk++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				study.Blocks[i] = measureOne(pl, w.Blocks[i])
+				mb := measureOne(pl, w.Blocks[i])
+				finishBlock(&mb, inj, cfg.Rounds, sc.QuarantineFailedFrac)
+				study.Blocks[i] = mb
+				if cw != nil {
+					if err := cw.Append(i, mb); err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+					}
+				}
 			}
 		}()
 	}
 	for i := range w.Blocks {
+		if done[i] {
+			continue
+		}
 		idxCh <- i
 	}
 	close(idxCh)
 	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
 	return study, nil
+}
+
+// finishBlock attaches the injector's per-block accounting and applies the
+// quarantine policy.
+func finishBlock(mb *MeasuredBlock, inj *faults.Injector, rounds int, quarantineFrac float64) {
+	if inj != nil {
+		mb.Faults = inj.BlockStats(mb.Info.ID)
+	}
+	if mb.ErrMsg != "" || mb.Sparse || rounds <= 0 {
+		return
+	}
+	frac := float64(mb.FailedRounds) / float64(rounds)
+	switch {
+	case frac > quarantineFrac:
+		mb.Quarantined = true
+		mb.Partial = false
+	case mb.FailedRounds > 0:
+		mb.Partial = true
+	}
 }
 
 func measureOne(pl *core.Pipeline, info *world.BlockInfo) MeasuredBlock {
@@ -140,10 +246,14 @@ func measureOne(pl *core.Pipeline, info *world.BlockInfo) MeasuredBlock {
 		if isSparse(err) {
 			mb.Sparse = true
 		} else {
-			mb.Err = err
+			mb.ErrMsg = err.Error()
 		}
 		return mb
 	}
+	mb.FailedRounds = run.FailedRounds
+	mb.Retries = run.Retries
+	mb.SendErrors = run.SendErrors
+	mb.RateLimited = run.RateLimited
 	mb.Class = run.Result.Class
 	mb.Phase = run.Result.Phase
 	mb.Days = run.Days
@@ -163,15 +273,84 @@ func measureOne(pl *core.Pipeline, info *world.BlockInfo) MeasuredBlock {
 
 func isSparse(err error) bool { return errors.Is(err, trinocular.ErrTooSparse) }
 
-// Measured returns the blocks that produced a classification.
+// Measured returns the blocks that produced a trustworthy classification:
+// not sparse, not failed, not quarantined. Partial blocks (recoverable gaps,
+// gap-filled) are included.
 func (s *Study) Measured() []MeasuredBlock {
 	out := make([]MeasuredBlock, 0, len(s.Blocks))
 	for _, b := range s.Blocks {
-		if b.Err == nil && !b.Sparse {
+		if b.ErrMsg == "" && !b.Sparse && !b.Quarantined {
 			out = append(out, b)
 		}
 	}
 	return out
+}
+
+// ErrorCount returns how many blocks failed measurement outright.
+func (s *Study) ErrorCount() int {
+	n := 0
+	for _, b := range s.Blocks {
+		if b.ErrMsg != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstError returns one recorded per-block error message, or "".
+func (s *Study) FirstError() string {
+	for _, b := range s.Blocks {
+		if b.ErrMsg != "" {
+			return b.ErrMsg
+		}
+	}
+	return ""
+}
+
+// QuarantinedCount returns how many blocks the quarantine policy excluded.
+func (s *Study) QuarantinedCount() int {
+	n := 0
+	for _, b := range s.Blocks {
+		if b.Quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// PartialCount returns how many measured blocks carried recoverable gaps.
+func (s *Study) PartialCount() int {
+	n := 0
+	for _, b := range s.Blocks {
+		if b.Partial {
+			n++
+		}
+	}
+	return n
+}
+
+// FaultTotals sums the injector's per-block accounting over all blocks.
+func (s *Study) FaultTotals() faults.Stats {
+	var t faults.Stats
+	for _, b := range s.Blocks {
+		t.Probes += b.Faults.Probes
+		t.Dropped += b.Faults.Dropped
+		t.RateLimited += b.Faults.RateLimited
+		t.SendErrors += b.Faults.SendErrors
+		t.Corrupted += b.Faults.Corrupted
+	}
+	return t
+}
+
+// DegradationTotals sums the probing-side degradation counters.
+func (s *Study) DegradationTotals() (failedRounds, retries, sendErrors, rateLimited int) {
+	for _, b := range s.Blocks {
+		failedRounds += b.FailedRounds
+		retries += b.Retries
+		sendErrors += b.SendErrors
+		rateLimited += b.RateLimited
+	}
+	return
 }
 
 // CountByClass tallies the measured population.

@@ -48,8 +48,8 @@ func TestMeasureWorldBasics(t *testing.T) {
 		t.Fatalf("only %d of %d measured", len(m), len(w.Blocks))
 	}
 	for _, b := range st.Blocks {
-		if b.Err != nil {
-			t.Fatalf("block %s failed: %v", b.Info.ID, b.Err)
+		if b.ErrMsg != "" {
+			t.Fatalf("block %s failed: %v", b.Info.ID, b.ErrMsg)
 		}
 	}
 	counts := st.CountByClass()

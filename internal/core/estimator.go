@@ -116,6 +116,35 @@ func (e *Estimator) Operational() float64 {
 // Rounds returns how many observations have been folded in.
 func (e *Estimator) Rounds() int { return e.rounds }
 
+// EstimatorState is the serializable snapshot of an Estimator, used by
+// campaign checkpoint files so a resumed run continues with bit-identical
+// EWMA state.
+type EstimatorState struct {
+	AlphaS, AlphaL float64
+	PS, TS         float64
+	PL, TL         float64
+	DL             float64
+	Rounds         int
+}
+
+// State snapshots the estimator.
+func (e *Estimator) State() EstimatorState {
+	return EstimatorState{
+		AlphaS: e.alphaS, AlphaL: e.alphaL,
+		PS: e.pS, TS: e.tS, PL: e.pL, TL: e.tL, DL: e.dL,
+		Rounds: e.rounds,
+	}
+}
+
+// EstimatorFromState rebuilds an estimator from a snapshot.
+func EstimatorFromState(s EstimatorState) *Estimator {
+	return &Estimator{
+		alphaS: s.AlphaS, alphaL: s.AlphaL,
+		pS: s.PS, tS: s.TS, pL: s.PL, tL: s.TL, dL: s.DL,
+		rounds: s.Rounds,
+	}
+}
+
 func ratio(p, t float64) float64 {
 	if t <= 0 {
 		return 0

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sleepnet/internal/netsim"
+	"sleepnet/internal/prf"
 	"sleepnet/internal/timeseries"
 	"sleepnet/internal/trinocular"
 )
@@ -73,6 +74,16 @@ type BlockRun struct {
 	SlopePerDay float64
 	// ProbesSent counts probes this block cost.
 	ProbesSent int64
+
+	// FailedRounds counts rounds that produced no usable observation (all
+	// probes failed locally or were eaten by rate limiting); they are
+	// recorded as missing samples and gap-filled by cleaning.
+	FailedRounds int
+	// Retries, SendErrors and RateLimited accumulate the prober's per-round
+	// fault counters. All zero on a fault-free network.
+	Retries     int
+	SendErrors  int
+	RateLimited int
 }
 
 // Pipeline runs the full §2 measurement chain over blocks of a simulated
@@ -124,6 +135,19 @@ func (pl *Pipeline) RunBlock(id netsim.BlockID) (*BlockRun, error) {
 		}
 		if obs.Changed {
 			run.Outages = append(run.Outages, OutageEvent{Round: r, Down: !obs.Up})
+		}
+		run.Retries += obs.Retries
+		run.SendErrors += obs.SendErrors
+		run.RateLimited += obs.RateLimited
+		if obs.Failed() {
+			// A round with no usable observation is a gap in the record,
+			// exactly like a missing collection artifact: no sample, no
+			// estimator update, gap-filled by cleaning.
+			run.FailedRounds++
+			run.Operational = append(run.Operational, est.Operational())
+			run.LongTerm = append(run.LongTerm, est.LongTerm())
+			run.RawRate = append(run.RawRate, 0)
+			continue
 		}
 		// Collection artifacts: some observations never make it into the
 		// recorded dataset, some are recorded twice. The estimator is part
@@ -182,7 +206,7 @@ func artifactFor(cfg PipelineConfig, id netsim.BlockID, r int) artifactKind {
 	if cfg.MissingRate <= 0 && cfg.DuplicateRate <= 0 {
 		return artifactNone
 	}
-	u := prfFloat(cfg.Seed^0xa57f_ac75, uint64(id), uint64(r))
+	u := prf.LegacyFloat(cfg.Seed^0xa57f_ac75, uint64(id), uint64(r))
 	switch {
 	case u < cfg.MissingRate:
 		return artifactMissing
@@ -226,20 +250,4 @@ func ClassifySeries(s timeseries.Series) (DiurnalResult, int, error) {
 		return DiurnalResult{}, 0, err
 	}
 	return res, days, nil
-}
-
-// prfFloat mirrors netsim's deterministic PRF for artifact injection
-// without importing unexported helpers.
-func prfFloat(seed uint64, parts ...uint64) float64 {
-	h := seed + 0x9e3779b97f4a7c15
-	mix := func(x uint64) uint64 {
-		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-		return x ^ (x >> 31)
-	}
-	h = mix(h)
-	for _, p := range parts {
-		h = mix(h ^ p)
-	}
-	return float64(h>>11) / (1 << 53)
 }

@@ -71,7 +71,7 @@ func FromStudy(st *analysis.Study) *Dataset {
 		Blocks:    make([]BlockRecord, 0, len(st.Blocks)),
 	}
 	for _, b := range st.Blocks {
-		if b.Err != nil {
+		if b.ErrMsg != "" {
 			continue
 		}
 		rec := BlockRecord{

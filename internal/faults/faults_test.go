@@ -1,0 +1,230 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sleepnet/internal/icmp"
+	"sleepnet/internal/netsim"
+)
+
+var epoch = time.Date(2013, time.April, 24, 0, 0, 0, 0, time.UTC)
+
+func addr(host byte) netsim.Addr {
+	return netsim.Addr{Block: netsim.MakeBlockID(10, 1, 1), Host: host}
+}
+
+func TestZeroValueIsNoOp(t *testing.T) {
+	var in Injector
+	now := epoch
+	for i := 0; i < 100; i++ {
+		ts, v := in.Outbound(addr(byte(i)), now)
+		if v != netsim.TapDeliver {
+			t.Fatalf("zero injector verdict = %v, want deliver", v)
+		}
+		if !ts.Equal(now) {
+			t.Fatalf("zero injector skewed time: %v != %v", ts, now)
+		}
+		reply := []byte{1, 2, 3}
+		if got := in.Inbound(addr(byte(i)), reply, now); &got[0] != &reply[0] {
+			t.Fatal("zero injector copied the reply")
+		}
+		now = now.Add(time.Second)
+	}
+	if in.Totals().Any() {
+		t.Fatalf("zero injector injected faults: %v", in.Totals())
+	}
+	if (Config{}).Active() {
+		t.Fatal("zero config reports active")
+	}
+}
+
+func TestDeterministicAndLossRate(t *testing.T) {
+	cfg := Config{Seed: 7, LossRate: 0.2}
+	a, b := New(cfg), New(cfg)
+	drops := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		now := epoch.Add(time.Duration(i) * time.Second)
+		_, va := a.Outbound(addr(byte(i)), now)
+		_, vb := b.Outbound(addr(byte(i)), now)
+		if va != vb {
+			t.Fatalf("draw %d: verdicts diverge (%v vs %v)", i, va, vb)
+		}
+		if va == netsim.TapDrop {
+			drops++
+		}
+	}
+	frac := float64(drops) / n
+	if frac < 0.17 || frac > 0.23 {
+		t.Fatalf("loss fraction %.3f, want ~0.2", frac)
+	}
+	if got := a.Totals().Dropped; got != int64(drops) {
+		t.Fatalf("Totals().Dropped = %d, want %d", got, drops)
+	}
+}
+
+func TestRateLimitWindow(t *testing.T) {
+	in := New(Config{Seed: 1, RateLimitPerRound: 3})
+	now := epoch
+	var limited int
+	for i := 0; i < 10; i++ {
+		if _, v := in.Outbound(addr(1), now.Add(time.Duration(i)*time.Second)); v == netsim.TapAdminProhibited {
+			limited++
+		}
+	}
+	if limited != 7 {
+		t.Fatalf("limited %d of 10 probes, want 7 (cap 3)", limited)
+	}
+	// A fresh window resets the count.
+	later := now.Add(2 * 660 * time.Second)
+	if _, v := in.Outbound(addr(1), later); v != netsim.TapDeliver {
+		t.Fatalf("first probe of new window got %v, want deliver", v)
+	}
+	// Other blocks are counted independently.
+	other := netsim.Addr{Block: netsim.MakeBlockID(10, 2, 2), Host: 1}
+	if _, v := in.Outbound(other, now); v != netsim.TapDeliver {
+		t.Fatalf("other block rate limited immediately: %v", v)
+	}
+	if got := in.BlockStats(addr(1).Block).RateLimited; got != 7 {
+		t.Fatalf("BlockStats rate limited = %d, want 7", got)
+	}
+}
+
+func TestBlackouts(t *testing.T) {
+	in := New(Config{
+		Seed:          3,
+		BlackoutEvery: time.Hour,
+		BlackoutFor:   10 * time.Minute,
+		Epoch:         epoch,
+	})
+	if _, v := in.Outbound(addr(1), epoch.Add(5*time.Minute)); v != netsim.TapSendError {
+		t.Fatalf("inside blackout window: %v, want send error", v)
+	}
+	if _, v := in.Outbound(addr(1), epoch.Add(30*time.Minute)); v != netsim.TapDeliver {
+		t.Fatalf("outside blackout window: %v, want deliver", v)
+	}
+	if _, v := in.Outbound(addr(1), epoch.Add(time.Hour+2*time.Minute)); v != netsim.TapSendError {
+		t.Fatalf("inside second blackout: %v, want send error", v)
+	}
+	// Explicit windows work without a periodic schedule.
+	in2 := New(Config{Blackouts: []netsim.Interval{{Start: epoch, End: epoch.Add(time.Minute)}}})
+	if _, v := in2.Outbound(addr(1), epoch.Add(30*time.Second)); v != netsim.TapSendError {
+		t.Fatalf("explicit blackout: %v, want send error", v)
+	}
+}
+
+func TestClockSkewAndDrift(t *testing.T) {
+	in := New(Config{
+		ClockSkew:        5 * time.Second,
+		ClockDriftPerDay: 2 * time.Second,
+		Epoch:            epoch,
+	})
+	now := epoch.Add(36 * time.Hour) // 1.5 days -> drift 3s
+	ts, v := in.Outbound(addr(1), now)
+	if v != netsim.TapDeliver {
+		t.Fatalf("verdict %v, want deliver", v)
+	}
+	want := now.Add(5*time.Second + 3*time.Second)
+	if !ts.Equal(want) {
+		t.Fatalf("skewed time %v, want %v", ts, want)
+	}
+}
+
+// TestCorruptionBreaksParsing feeds valid echo replies through the corruptor
+// and requires every corrupted reply to fail validation — corruption must
+// never silently yield a different valid message.
+func TestCorruptionBreaksParsing(t *testing.T) {
+	in := New(Config{Seed: 9, CorruptRate: 1})
+	sawErr := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		reply, err := (&icmp.Echo{Reply: true, ID: 7, Seq: uint16(i), Payload: []byte("ping")}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := epoch.Add(time.Duration(i) * time.Second)
+		got := in.Inbound(addr(byte(i)), reply, now)
+		if _, perr := icmp.ParseEcho(got); perr != nil {
+			switch {
+			case errors.Is(perr, icmp.ErrTruncated):
+				sawErr["truncated"] = true
+			case errors.Is(perr, icmp.ErrChecksum):
+				sawErr["checksum"] = true
+			case errors.Is(perr, icmp.ErrPayloadSize):
+				sawErr["payload"] = true
+			default:
+				sawErr["other"] = true
+			}
+		} else {
+			t.Fatalf("draw %d: corrupted reply parsed cleanly", i)
+		}
+	}
+	for _, kind := range []string{"truncated", "checksum", "payload"} {
+		if !sawErr[kind] {
+			t.Fatalf("corruption never produced a %s error (saw %v)", kind, sawErr)
+		}
+	}
+	if got := in.Totals().Corrupted; got != 300 {
+		t.Fatalf("Corrupted = %d, want 300", got)
+	}
+}
+
+// TestNetworkIntegration attaches an injector to a real simulated network
+// and checks the verdicts surface as the right Response shapes.
+func TestNetworkIntegration(t *testing.T) {
+	net := netsim.NewNetwork(42)
+	blk := &netsim.Block{ID: netsim.MakeBlockID(10, 1, 1), Seed: 5}
+	for h := 0; h < 30; h++ {
+		blk.Behaviors[h] = netsim.AlwaysOn{}
+	}
+	net.AddBlock(blk)
+	probeOnce := func(seq uint16, now time.Time) netsim.Response {
+		pkt, err := (&icmp.Echo{ID: 9, Seq: seq}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net.Probe(netsim.Addr{Block: blk.ID, Host: 3}, pkt, now)
+	}
+
+	// Total loss: every probe times out without SendFailed.
+	net.SetTap(New(Config{LossRate: 1}))
+	r := probeOnce(1, epoch)
+	if !r.Timeout || r.SendFailed {
+		t.Fatalf("loss: got %+v, want plain timeout", r)
+	}
+
+	// Blackout: SendFailed set, so the prober can tell it apart.
+	net.SetTap(New(Config{Blackouts: []netsim.Interval{{Start: epoch, End: epoch.Add(time.Hour)}}}))
+	r = probeOnce(2, epoch.Add(time.Minute))
+	if !r.SendFailed {
+		t.Fatalf("blackout: got %+v, want SendFailed", r)
+	}
+
+	// Rate limit of zero probes per window answers everything with
+	// admin-prohibited unreachables quoting our probe.
+	net.SetTap(New(Config{RateLimitPerRound: 1}))
+	probeOnce(3, epoch) // consumes the window's allowance
+	r = probeOnce(4, epoch.Add(time.Second))
+	if r.Timeout || r.Data == nil {
+		t.Fatalf("rate limit: got %+v, want a reply", r)
+	}
+	un, err := icmp.ParseUnreachable(r.Data)
+	if err != nil {
+		t.Fatalf("rate limit reply did not parse: %v", err)
+	}
+	if un.Code != icmp.CodeAdminProhibited {
+		t.Fatalf("rate limit code = %d, want %d", un.Code, icmp.CodeAdminProhibited)
+	}
+	orig, err := icmp.ParseEcho(un.Original)
+	if err != nil || orig.Seq != 4 {
+		t.Fatalf("quoted original wrong: %v %+v", err, orig)
+	}
+
+	// Removing the tap restores clean delivery.
+	net.SetTap(nil)
+	r = probeOnce(5, epoch)
+	if r.Timeout {
+		t.Fatalf("untapped probe timed out: %+v", r)
+	}
+}

@@ -19,6 +19,40 @@ type Response struct {
 	// Timeout is true when no reply arrived (address down, block in outage,
 	// or packet loss) — indistinguishable causes, as on the real Internet.
 	Timeout bool
+	// SendFailed is true when the probe never left the vantage point (local
+	// send error, e.g. during a vantage blackout). Unlike a timeout this is
+	// knowably transient and carries no evidence about the target, so a
+	// prober may retry it.
+	SendFailed bool
+}
+
+// TapVerdict is the fate a Tap assigns to an outbound probe.
+type TapVerdict int
+
+const (
+	// TapDeliver lets the probe through unharmed.
+	TapDeliver TapVerdict = iota
+	// TapDrop loses the probe silently in transit (indistinguishable from a
+	// down target).
+	TapDrop
+	// TapSendError fails the probe at the vantage point before it is sent.
+	TapSendError
+	// TapAdminProhibited has an intermediate device eat the probe and answer
+	// with an ICMP administratively-prohibited unreachable (rate limiting).
+	TapAdminProhibited
+)
+
+// Tap perturbs the delivery path — the hook the fault-injection layer
+// (internal/faults) attaches to. A nil tap, like a zero-value injector, is
+// a no-op. Implementations must be safe for concurrent use; SetTap must not
+// race with probing (same rule as AddBlock).
+type Tap interface {
+	// Outbound is consulted before a probe is routed. It returns the
+	// (possibly skewed) timestamp delivery should use and the verdict.
+	Outbound(dst Addr, now time.Time) (time.Time, TapVerdict)
+	// Inbound may corrupt or replace a reply on its way back. Returning nil
+	// drops the reply (the probe times out).
+	Inbound(dst Addr, reply []byte, now time.Time) []byte
 }
 
 // Counters accumulates network-wide accounting, used to check the paper's
@@ -39,6 +73,7 @@ type Network struct {
 	mu     sync.RWMutex
 	blocks map[BlockID]*Block
 	seed   uint64
+	tap    Tap
 
 	// Stats counts global probe outcomes.
 	Stats Counters
@@ -49,6 +84,14 @@ type Network struct {
 // NewNetwork creates an empty simulated network with the given seed.
 func NewNetwork(seed uint64) *Network {
 	return &Network{blocks: make(map[BlockID]*Block), seed: seed}
+}
+
+// SetTap installs (or, with nil, removes) a delivery-path fault tap. Like
+// AddBlock it must not race with probing.
+func (n *Network) SetTap(t Tap) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tap = t
 }
 
 // AddBlock registers a block. Re-adding a BlockID replaces it.
@@ -98,7 +141,34 @@ func (n *Network) Probe(dst Addr, pkt []byte, now time.Time) Response {
 
 	n.mu.RLock()
 	blk := n.blocks[dst.Block]
+	tap := n.tap
 	n.mu.RUnlock()
+
+	if tap != nil {
+		var v TapVerdict
+		now, v = tap.Outbound(dst, now)
+		switch v {
+		case TapDrop:
+			n.Stats.Lost.Add(1)
+			n.Stats.Timeouts.Add(1)
+			return Response{Timeout: true}
+		case TapSendError:
+			return Response{Timeout: true, SendFailed: true}
+		case TapAdminProhibited:
+			n.Stats.RateLimited.Add(1)
+			un, uerr := (&icmp.Unreachable{Code: icmp.CodeAdminProhibited, Original: pkt}).Marshal()
+			if uerr != nil {
+				n.Stats.Timeouts.Add(1)
+				return Response{Timeout: true}
+			}
+			rtt := 20 * time.Millisecond
+			if blk != nil {
+				rtt = blk.LatencyBase
+			}
+			return n.inbound(tap, dst, Response{Data: un, RTT: rtt}, now)
+		}
+	}
+
 	if blk == nil {
 		// Unrouted space: silence.
 		n.Stats.Timeouts.Add(1)
@@ -125,7 +195,7 @@ func (n *Network) Probe(dst Addr, pkt []byte, now time.Time) Response {
 				un, err := (&icmp.Unreachable{Code: icmp.CodeHostUnreachable, Original: pkt}).Marshal()
 				if err == nil {
 					n.Stats.Replies.Add(1)
-					return Response{Data: un, RTT: blk.LatencyBase}
+					return n.inbound(tap, dst, Response{Data: un, RTT: blk.LatencyBase}, now)
 				}
 			}
 		}
@@ -151,7 +221,22 @@ func (n *Network) Probe(dst Addr, pkt []byte, now time.Time) Response {
 		rtt += time.Duration(j * float64(blk.LatencyJitter))
 	}
 	n.Stats.Replies.Add(1)
-	return Response{Data: reply, RTT: rtt}
+	return n.inbound(tap, dst, Response{Data: reply, RTT: rtt}, now)
+}
+
+// inbound runs a delivered reply back through the tap, which may corrupt
+// or drop it.
+func (n *Network) inbound(tap Tap, dst Addr, resp Response, now time.Time) Response {
+	if tap == nil || resp.Data == nil {
+		return resp
+	}
+	data := tap.Inbound(dst, resp.Data, now)
+	if data == nil {
+		n.Stats.Timeouts.Add(1)
+		return Response{Timeout: true}
+	}
+	resp.Data = data
+	return resp
 }
 
 // DeliverIP routes a full IPv4 packet into the simulated edge: the header
@@ -184,9 +269,13 @@ func (n *Network) DeliverIP(pkt []byte, now time.Time) Response {
 	if resp.Timeout || resp.Data == nil {
 		return resp
 	}
+	hops := 0
+	if blk != nil {
+		hops = blk.PathHops()
+	}
 	replyHdr := &ipv4.Header{
 		ID:       hdr.ID,
-		TTL:      byte(ipv4.DefaultTTL - min(blk.PathHops(), ipv4.DefaultTTL-1)),
+		TTL:      byte(ipv4.DefaultTTL - min(hops, ipv4.DefaultTTL-1)),
 		Protocol: ipv4.ProtoICMP,
 		Src:      hdr.Dst,
 		Dst:      hdr.Src,

@@ -7,41 +7,19 @@
 // All randomness is a pure function of (seed, identifiers, time quantum),
 // so a simulation is exactly reproducible and answers are consistent when
 // an address is probed twice in the same round — the property that makes
-// ground-truth availability well defined.
+// ground-truth availability well defined. The draws themselves come from
+// the canonical PRF in internal/prf; these wrappers only keep the local
+// names the simulator code reads naturally.
 package netsim
 
-import "math"
-
-// splitmix64 is the finalizing mixer from the SplitMix64 generator; it is
-// used as a tiny keyed PRF over packed integer inputs.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-// prf hashes the seed and parts into a uniform 64-bit value.
-func prf(seed uint64, parts ...uint64) uint64 {
-	h := splitmix64(seed)
-	for _, p := range parts {
-		h = splitmix64(h ^ p)
-	}
-	return h
-}
+import "sleepnet/internal/prf"
 
 // prfFloat returns a uniform float64 in [0, 1).
 func prfFloat(seed uint64, parts ...uint64) float64 {
-	return float64(prf(seed, parts...)>>11) / (1 << 53)
+	return prf.Float(seed, parts...)
 }
 
-// prfNorm returns a standard normal deviate via the Box-Muller transform
-// on two independent PRF draws.
+// prfNorm returns a standard normal deviate.
 func prfNorm(seed uint64, parts ...uint64) float64 {
-	u1 := prfFloat(seed^0x5bf0_3635, parts...)
-	u2 := prfFloat(seed^0xc2b2_ae35, parts...)
-	if u1 < 1e-300 {
-		u1 = 1e-300
-	}
-	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return prf.Norm(seed, parts...)
 }

@@ -6,6 +6,7 @@
 package outage
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -103,6 +104,59 @@ func Summarize(eps []Episode, totalRounds int) Summary {
 		s.MTBFRounds = math.NaN()
 	}
 	return s
+}
+
+// jsonSummary mirrors Summary with pointer float fields: JSON cannot
+// represent NaN, so the "undefined" summaries (no episodes, empty window)
+// are encoded as null and decoded back to NaN.
+type jsonSummary struct {
+	Episodes          int      `json:"episodes"`
+	DownRounds        int      `json:"downRounds"`
+	TotalRounds       int      `json:"totalRounds"`
+	Uptime            *float64 `json:"uptime"`
+	MeanEpisodeRounds *float64 `json:"meanEpisodeRounds"`
+	MTBFRounds        *float64 `json:"mtbfRounds"`
+}
+
+func optFloat(v float64) *float64 {
+	if math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+func fromOptFloat(p *float64) float64 {
+	if p == nil {
+		return math.NaN()
+	}
+	return *p
+}
+
+// MarshalJSON encodes the summary with NaN fields as null.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonSummary{
+		Episodes:          s.Episodes,
+		DownRounds:        s.DownRounds,
+		TotalRounds:       s.TotalRounds,
+		Uptime:            optFloat(s.Uptime),
+		MeanEpisodeRounds: optFloat(s.MeanEpisodeRounds),
+		MTBFRounds:        optFloat(s.MTBFRounds),
+	})
+}
+
+// UnmarshalJSON decodes null float fields back to NaN.
+func (s *Summary) UnmarshalJSON(b []byte) error {
+	var js jsonSummary
+	if err := json.Unmarshal(b, &js); err != nil {
+		return err
+	}
+	s.Episodes = js.Episodes
+	s.DownRounds = js.DownRounds
+	s.TotalRounds = js.TotalRounds
+	s.Uptime = fromOptFloat(js.Uptime)
+	s.MeanEpisodeRounds = fromOptFloat(js.MeanEpisodeRounds)
+	s.MTBFRounds = fromOptFloat(js.MTBFRounds)
+	return nil
 }
 
 // NinesString formats uptime as a conventional "three nines" style

@@ -1,6 +1,7 @@
 package outage
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -158,5 +159,33 @@ func TestEpisodesRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	cases := []Summary{
+		Summarize(nil, 100), // NaN MTTR and MTBF
+		Summarize(nil, 0),   // everything NaN
+		Summarize([]Episode{{Start: 5, End: 9}}, 100), // NaN MTBF only
+		Summarize([]Episode{{Start: 5, End: 9}, {Start: 50, End: 51}}, 100),
+	}
+	for i, want := range cases {
+		data, err := json.Marshal(want)
+		if err != nil {
+			t.Fatalf("case %d: marshal: %v", i, err)
+		}
+		var got Summary
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("case %d: unmarshal: %v", i, err)
+		}
+		same := func(a, b float64) bool {
+			return a == b || (math.IsNaN(a) && math.IsNaN(b))
+		}
+		if got.Episodes != want.Episodes || got.DownRounds != want.DownRounds ||
+			got.TotalRounds != want.TotalRounds || !same(got.Uptime, want.Uptime) ||
+			!same(got.MeanEpisodeRounds, want.MeanEpisodeRounds) ||
+			!same(got.MTBFRounds, want.MTBFRounds) {
+			t.Fatalf("case %d: round trip changed summary: %+v -> %+v", i, want, got)
+		}
 	}
 }

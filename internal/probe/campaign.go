@@ -43,6 +43,26 @@ type BlockResult struct {
 	Skipped int
 	// Events are outage transitions.
 	Events []core.OutageEvent
+
+	// The remaining counters are maintained by the Supervisor; a plain
+	// Campaign leaves them zero.
+
+	// FailedRounds counts probed rounds that produced no usable observation
+	// (every probe died locally or was eaten by rate limiting); such rounds
+	// hold the previous Âs and are gap-filled downstream.
+	FailedRounds int
+	// Quarantined counts rounds skipped because the block's circuit breaker
+	// was open.
+	Quarantined int
+	// Trips counts how many times the circuit breaker opened.
+	Trips int
+	// Retries, SendErrors and RateLimited accumulate the prober's per-round
+	// fault counters.
+	Retries     int
+	SendErrors  int
+	RateLimited int
+	// Panics counts probe-round panics the supervisor recovered.
+	Panics int
 }
 
 // Run probes all given blocks for the given number of rounds in lockstep.

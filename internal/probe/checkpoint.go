@@ -1,0 +1,192 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"sleepnet/internal/core"
+	"sleepnet/internal/netsim"
+	"sleepnet/internal/trinocular"
+)
+
+// checkpointVersion guards the on-disk format; a mismatch refuses to resume
+// rather than silently misreading state.
+const checkpointVersion = 1
+
+// breakerSnapshot is the serializable state of one block's circuit breaker.
+type breakerSnapshot struct {
+	State        int    `json:"state"`
+	CooldownLeft int    `json:"cooldown_left"`
+	Trips        int    `json:"trips"`
+	Recent       []bool `json:"recent"` // window contents in insertion order
+}
+
+func (b *breaker) snapshot() breakerSnapshot {
+	s := breakerSnapshot{State: b.state, CooldownLeft: b.cooldownLeft, Trips: b.trips}
+	// Unroll the ring into insertion order (oldest first).
+	start := (b.head - b.count + len(b.recent)) % len(b.recent)
+	for i := 0; i < b.count; i++ {
+		s.Recent = append(s.Recent, b.recent[(start+i)%len(b.recent)])
+	}
+	return s
+}
+
+func (b *breaker) restore(s breakerSnapshot) error {
+	if s.State < breakerClosed || s.State > breakerHalfOpen {
+		return fmt.Errorf("probe: checkpoint: bad breaker state %d", s.State)
+	}
+	if len(s.Recent) > len(b.recent) {
+		return fmt.Errorf("probe: checkpoint: breaker window %d exceeds configured %d", len(s.Recent), len(b.recent))
+	}
+	b.state = s.State
+	b.cooldownLeft = s.CooldownLeft
+	b.trips = s.Trips
+	b.head, b.count = 0, 0
+	for i := range b.recent {
+		b.recent[i] = false
+	}
+	for _, f := range s.Recent {
+		b.recent[b.head] = f
+		b.head = (b.head + 1) % len(b.recent)
+		b.count++
+	}
+	return nil
+}
+
+// checkpointBlock is one block's campaign state in the checkpoint file.
+type checkpointBlock struct {
+	ID           netsim.BlockID      `json:"id"`
+	Estimator    core.EstimatorState `json:"estimator"`
+	Short        []float64           `json:"short"`
+	Skipped      int                 `json:"skipped"`
+	FailedRounds int                 `json:"failed_rounds"`
+	Quarantined  int                 `json:"quarantined"`
+	Retries      int                 `json:"retries"`
+	SendErrors   int                 `json:"send_errors"`
+	RateLimited  int                 `json:"rate_limited"`
+	Panics       int                 `json:"panics"`
+	Events       []core.OutageEvent  `json:"events,omitempty"`
+	Breaker      breakerSnapshot     `json:"breaker"`
+}
+
+// checkpoint is the versioned on-disk campaign state.
+type checkpoint struct {
+	Version   int               `json:"version"`
+	Seed      uint64            `json:"seed"`
+	Start     time.Time         `json:"start"`
+	NextRound int               `json:"next_round"`
+	Prober    trinocular.State  `json:"prober"`
+	Budget    *TokenBucketState `json:"budget,omitempty"`
+	Blocks    []checkpointBlock `json:"blocks"`
+}
+
+// save writes the campaign state atomically (temp file + rename), so a kill
+// mid-write leaves the previous checkpoint intact.
+func (s *Supervisor) save(prober *trinocular.Prober, results map[netsim.BlockID]*BlockResult, breakers map[netsim.BlockID]*breaker, nextRound int) error {
+	ck := checkpoint{
+		Version:   checkpointVersion,
+		Seed:      s.Seed,
+		Start:     s.Start,
+		NextRound: nextRound,
+		Prober:    prober.ExportState(),
+	}
+	if s.Budget != nil {
+		st := s.Budget.State()
+		ck.Budget = &st
+	}
+	for id, res := range results {
+		ck.Blocks = append(ck.Blocks, checkpointBlock{
+			ID:           id,
+			Estimator:    res.Estimator.State(),
+			Short:        res.Short,
+			Skipped:      res.Skipped,
+			FailedRounds: res.FailedRounds,
+			Quarantined:  res.Quarantined,
+			Retries:      res.Retries,
+			SendErrors:   res.SendErrors,
+			RateLimited:  res.RateLimited,
+			Panics:       res.Panics,
+			Events:       res.Events,
+			Breaker:      breakers[id].snapshot(),
+		})
+	}
+	sort.Slice(ck.Blocks, func(i, j int) bool { return ck.Blocks[i].ID < ck.Blocks[j].ID })
+
+	data, err := json.Marshal(&ck)
+	if err != nil {
+		return fmt.Errorf("probe: checkpoint: %w", err)
+	}
+	tmp := s.CheckpointPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("probe: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, s.CheckpointPath); err != nil {
+		return fmt.Errorf("probe: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadInto restores a checkpoint into the freshly constructed campaign
+// state and returns the round to resume at. A missing file is not an error:
+// the campaign simply starts from round 0.
+func (s *Supervisor) loadInto(prober *trinocular.Prober, results map[netsim.BlockID]*BlockResult, breakers map[netsim.BlockID]*breaker) (int, error) {
+	data, err := os.ReadFile(s.CheckpointPath)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("probe: checkpoint: %w", err)
+	}
+	var ck checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return 0, fmt.Errorf("probe: checkpoint %s: %w", s.CheckpointPath, err)
+	}
+	if ck.Version != checkpointVersion {
+		return 0, fmt.Errorf("probe: checkpoint %s: version %d, want %d", s.CheckpointPath, ck.Version, checkpointVersion)
+	}
+	if ck.Seed != s.Seed {
+		return 0, fmt.Errorf("probe: checkpoint %s: seed %d does not match campaign seed %d", s.CheckpointPath, ck.Seed, s.Seed)
+	}
+	if !ck.Start.Equal(s.Start) {
+		return 0, fmt.Errorf("probe: checkpoint %s: start %v does not match campaign start %v", s.CheckpointPath, ck.Start, s.Start)
+	}
+	if len(ck.Blocks) != len(results) {
+		return 0, fmt.Errorf("probe: checkpoint %s: %d blocks, campaign tracks %d", s.CheckpointPath, len(ck.Blocks), len(results))
+	}
+	for _, cb := range ck.Blocks {
+		res, ok := results[cb.ID]
+		if !ok {
+			return 0, fmt.Errorf("probe: checkpoint %s: block %s not tracked by this campaign", s.CheckpointPath, cb.ID)
+		}
+		res.Estimator = core.EstimatorFromState(cb.Estimator)
+		res.Short = append(res.Short[:0], cb.Short...)
+		res.Skipped = cb.Skipped
+		res.FailedRounds = cb.FailedRounds
+		res.Quarantined = cb.Quarantined
+		res.Retries = cb.Retries
+		res.SendErrors = cb.SendErrors
+		res.RateLimited = cb.RateLimited
+		res.Panics = cb.Panics
+		res.Events = cb.Events
+		if err := breakers[cb.ID].restore(cb.Breaker); err != nil {
+			return 0, err
+		}
+	}
+	if err := prober.RestoreState(ck.Prober); err != nil {
+		return 0, fmt.Errorf("probe: checkpoint %s: %w", s.CheckpointPath, err)
+	}
+	if ck.Budget != nil && s.Budget != nil {
+		b, err := TokenBucketFromState(*ck.Budget)
+		if err != nil {
+			return 0, fmt.Errorf("probe: checkpoint %s: %w", s.CheckpointPath, err)
+		}
+		s.Budget = b
+	}
+	if ck.NextRound < 0 {
+		return 0, fmt.Errorf("probe: checkpoint %s: negative next round", s.CheckpointPath)
+	}
+	return ck.NextRound, nil
+}

@@ -59,6 +59,31 @@ func (b *TokenBucket) Allow(now time.Time, n float64) bool {
 	return false
 }
 
+// TokenBucketState is the serializable snapshot of a TokenBucket, used by
+// campaign checkpoints so a resumed run keeps the same budget position.
+type TokenBucketState struct {
+	Rate, Capacity, Tokens float64
+	Last                   time.Time
+}
+
+// State snapshots the bucket.
+func (b *TokenBucket) State() TokenBucketState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return TokenBucketState{Rate: b.rate, Capacity: b.capacity, Tokens: b.tokens, Last: b.last}
+}
+
+// TokenBucketFromState rebuilds a bucket from a snapshot.
+func TokenBucketFromState(s TokenBucketState) (*TokenBucket, error) {
+	b, err := NewTokenBucket(s.Rate, s.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	b.tokens = s.Tokens
+	b.last = s.Last
+	return b, nil
+}
+
 // Available reports the current token balance at time now.
 func (b *TokenBucket) Available(now time.Time) float64 {
 	b.mu.Lock()

@@ -1,0 +1,331 @@
+package probe
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sleepnet/internal/core"
+	"sleepnet/internal/netsim"
+	"sleepnet/internal/trinocular"
+)
+
+// Supervisor is the resilient variant of Campaign: the same lockstep round
+// scheduler, hardened for a hostile measurement path. Probe rounds that
+// produce no usable observation (vantage blackout, rate limiting) are
+// recorded as failed and gap-filled downstream instead of poisoning the
+// estimators; a per-block circuit breaker quarantines blocks whose recent
+// failure rate crosses a threshold, so a rate-limiting gateway stops
+// burning probe budget; worker panics are recovered and charged to the
+// block rather than killing the campaign; and the full campaign state is
+// periodically checkpointed to disk so a killed run resumes where it
+// stopped.
+type Supervisor struct {
+	Campaign
+	// Breaker tunes the per-block circuit breaker; the zero value uses
+	// defaults (trip at >50% failures over the last 10 rounds, 10-round
+	// cooldown).
+	Breaker BreakerConfig
+	// CheckpointPath, when set, enables periodic checkpointing to this file.
+	CheckpointPath string
+	// CheckpointEvery is the number of rounds between checkpoints (default 10).
+	CheckpointEvery int
+	// Resume loads CheckpointPath (if it exists) and continues from it
+	// instead of starting at round 0. Resuming replays any rounds probed
+	// after the last checkpoint; probing is deterministic in virtual time,
+	// so the replay reproduces them exactly.
+	Resume bool
+
+	// stopAfterRound, when positive, makes Run return ErrStopped after
+	// completing that many rounds — the test hook that simulates a killed
+	// process for checkpoint/resume tests.
+	stopAfterRound int
+	// injectPanic, when set, is called before each block's probe round —
+	// the test hook for the panic-recovery path.
+	injectPanic func(id netsim.BlockID, round int)
+}
+
+// ErrStopped is returned by Supervisor.Run when the stop-after-round test
+// hook fires, simulating a killed process.
+var ErrStopped = fmt.Errorf("probe: supervisor stopped early")
+
+// BreakerConfig tunes the per-block circuit breaker.
+type BreakerConfig struct {
+	// Window is how many recent rounds the failure rate is computed over
+	// (default 10).
+	Window int
+	// FailureThreshold is the failure fraction over the window that trips
+	// the breaker (default 0.5).
+	FailureThreshold float64
+	// MinSamples is the minimum number of rounds in the window before the
+	// breaker may trip (default 5), so one early failure cannot quarantine
+	// a block.
+	MinSamples int
+	// Cooldown is how many rounds an open breaker skips before letting one
+	// trial round through (half-open) (default 10).
+	Cooldown int
+	// Disabled turns the breaker off entirely.
+	Disabled bool
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 10
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10
+	}
+	return c
+}
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is one block's circuit breaker: closed (probing normally), open
+// (quarantined, skipping rounds), or half-open (letting one trial round
+// through after the cooldown).
+type breaker struct {
+	cfg          BreakerConfig
+	state        int
+	cooldownLeft int
+	trips        int
+	recent       []bool // ring buffer of recent round outcomes, true = failed
+	head         int    // next write position
+	count        int    // filled entries
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	cfg = cfg.withDefaults()
+	return &breaker{cfg: cfg, recent: make([]bool, cfg.Window)}
+}
+
+// allow reports whether the block may probe this round, advancing the
+// cooldown of an open breaker.
+func (b *breaker) allow() bool {
+	if b.cfg.Disabled || b.state == breakerClosed || b.state == breakerHalfOpen {
+		return true
+	}
+	b.cooldownLeft--
+	if b.cooldownLeft <= 0 {
+		b.state = breakerHalfOpen
+		return true
+	}
+	return false
+}
+
+// record folds one probed round's outcome into the breaker.
+func (b *breaker) record(failed bool) {
+	if b.cfg.Disabled {
+		return
+	}
+	if b.state == breakerHalfOpen {
+		if failed {
+			// The trial round failed: back to quarantine.
+			b.reopen()
+		} else {
+			// Recovered: close and forget the failure history.
+			b.state = breakerClosed
+			b.head, b.count = 0, 0
+		}
+		return
+	}
+	b.recent[b.head] = failed
+	b.head = (b.head + 1) % len(b.recent)
+	if b.count < len(b.recent) {
+		b.count++
+	}
+	if b.count < b.cfg.MinSamples {
+		return
+	}
+	fails := 0
+	for i := 0; i < b.count; i++ {
+		if b.recent[i] {
+			fails++
+		}
+	}
+	if float64(fails)/float64(b.count) > b.cfg.FailureThreshold {
+		b.reopen()
+	}
+}
+
+func (b *breaker) reopen() {
+	b.state = breakerOpen
+	b.cooldownLeft = b.cfg.Cooldown
+	b.trips++
+	b.head, b.count = 0, 0
+	for i := range b.recent {
+		b.recent[i] = false
+	}
+}
+
+// Run probes all given blocks for the given number of rounds in lockstep,
+// like Campaign.Run, with retry-aware failure accounting, circuit breaking,
+// panic recovery, and optional checkpoint/resume.
+func (s *Supervisor) Run(ids []netsim.BlockID, rounds int) (map[netsim.BlockID]*BlockResult, error) {
+	if s.Net == nil {
+		return nil, fmt.Errorf("probe: supervisor needs a network")
+	}
+	if rounds <= 0 {
+		return nil, fmt.Errorf("probe: supervisor needs positive rounds")
+	}
+	period := s.Period
+	if period <= 0 {
+		period = 660 * time.Second
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	initialA := s.InitialA
+	if initialA == 0 {
+		initialA = 0.5
+	}
+	every := s.CheckpointEvery
+	if every <= 0 {
+		every = 10
+	}
+
+	prober := trinocular.New(s.Net, s.Prober, s.Seed)
+	results := make(map[netsim.BlockID]*BlockResult)
+	breakers := make(map[netsim.BlockID]*breaker)
+	var tracked []netsim.BlockID
+	for _, id := range ids {
+		blk := s.Net.Block(id)
+		if blk == nil {
+			return nil, fmt.Errorf("probe: block %s not in network", id)
+		}
+		if err := prober.AddBlock(id, blk.EverActive()); err != nil {
+			continue // sparse: excluded by policy
+		}
+		tracked = append(tracked, id)
+		results[id] = &BlockResult{
+			ID:        id,
+			Estimator: core.NewEstimator(initialA),
+			Short:     make([]float64, 0, rounds),
+		}
+		breakers[id] = newBreaker(s.Breaker)
+	}
+
+	startRound := 0
+	if s.Resume && s.CheckpointPath != "" {
+		next, err := s.loadInto(prober, results, breakers)
+		if err != nil {
+			return nil, err
+		}
+		startRound = next
+	}
+
+	budgetTokens := float64(s.Prober.MaxProbesPerRound)
+	if budgetTokens <= 0 {
+		budgetTokens = 15
+	}
+	for r := startRound; r < rounds; r++ {
+		now := s.Start.Add(time.Duration(r) * period)
+		var wg sync.WaitGroup
+		ch := make(chan netsim.BlockID)
+		errCh := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for id := range ch {
+					res := results[id]
+					br := breakers[id]
+					if !br.allow() {
+						res.Quarantined++
+						res.Short = append(res.Short, lastOr(res.Short, initialA))
+						continue
+					}
+					if s.Budget != nil && !s.Budget.Allow(now, budgetTokens) {
+						res.Skipped++
+						res.Short = append(res.Short, lastOr(res.Short, initialA))
+						continue
+					}
+					obs, failed, err := s.probeOne(prober, id, r, now, res)
+					if err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+						continue
+					}
+					res.Retries += obs.Retries
+					res.SendErrors += obs.SendErrors
+					res.RateLimited += obs.RateLimited
+					br.record(failed)
+					if failed {
+						// No usable observation: record the gap, hold the
+						// previous estimate, and let downstream gap-filling
+						// treat the round as a missing sample.
+						res.FailedRounds++
+						res.Short = append(res.Short, lastOr(res.Short, initialA))
+						continue
+					}
+					res.Estimator.Observe(obs.Positive, obs.Total)
+					res.Short = append(res.Short, res.Estimator.ShortTerm())
+					if obs.Changed {
+						res.Events = append(res.Events, core.OutageEvent{Round: r, Down: !obs.Up})
+					}
+				}
+			}()
+		}
+		for _, id := range tracked {
+			ch <- id
+		}
+		close(ch)
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return nil, err
+		default:
+		}
+		if s.CheckpointPath != "" && (r+1)%every == 0 && r+1 < rounds {
+			if err := s.save(prober, results, breakers, r+1); err != nil {
+				return nil, err
+			}
+		}
+		if s.stopAfterRound > 0 && r+1 >= s.stopAfterRound {
+			s.syncTrips(results, breakers)
+			return results, ErrStopped
+		}
+	}
+	s.syncTrips(results, breakers)
+	return results, nil
+}
+
+// probeOne runs one block's probe round with panic recovery: a panic is
+// charged to the block as a failed round instead of killing the campaign.
+// (The prober's in-memory state for the block is left as the panic found
+// it; the next round proceeds from there.)
+func (s *Supervisor) probeOne(prober *trinocular.Prober, id netsim.BlockID, round int, now time.Time, res *BlockResult) (obs trinocular.RoundObs, failed bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res.Panics++
+			obs, failed, err = trinocular.RoundObs{}, true, nil
+		}
+	}()
+	if s.injectPanic != nil {
+		s.injectPanic(id, round)
+	}
+	obs, err = prober.ProbeRound(id, now, res.Estimator.Operational())
+	if err != nil {
+		return obs, false, err
+	}
+	return obs, obs.Failed(), nil
+}
+
+func (s *Supervisor) syncTrips(results map[netsim.BlockID]*BlockResult, breakers map[netsim.BlockID]*breaker) {
+	for id, res := range results {
+		res.Trips = breakers[id].trips
+	}
+}

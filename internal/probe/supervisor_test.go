@@ -1,0 +1,276 @@
+package probe
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sleepnet/internal/netsim"
+)
+
+// failTap is a minimal netsim.Tap failing every probe to one block before a
+// cutoff time — a deterministic stand-in for a vantage problem that affects
+// a single target path.
+type failTap struct {
+	block netsim.BlockID
+	until time.Time
+}
+
+func (f failTap) Outbound(dst netsim.Addr, now time.Time) (time.Time, netsim.TapVerdict) {
+	if dst.Block == f.block && now.Before(f.until) {
+		return now, netsim.TapSendError
+	}
+	return now, netsim.TapDeliver
+}
+
+func (f failTap) Inbound(dst netsim.Addr, reply []byte, now time.Time) []byte { return reply }
+
+func TestSupervisorMatchesCampaignWithoutFaults(t *testing.T) {
+	net1, ids1 := campaignNet(12)
+	c := &Campaign{Net: net1, Start: t0, Workers: 6, Seed: 3}
+	want, err := c.Run(ids1, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2, ids2 := campaignNet(12)
+	s := &Supervisor{Campaign: Campaign{Net: net2, Start: t0, Workers: 6, Seed: 3}}
+	got, err := s.Run(ids2, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("blocks: %d vs %d", len(got), len(want))
+	}
+	for id, w := range want {
+		g := got[id]
+		if len(g.Short) != len(w.Short) {
+			t.Fatalf("block %s: %d vs %d samples", id, len(g.Short), len(w.Short))
+		}
+		for i := range w.Short {
+			if g.Short[i] != w.Short[i] {
+				t.Fatalf("block %s round %d: %v vs %v", id, i, g.Short[i], w.Short[i])
+			}
+		}
+		if g.Estimator.State() != w.Estimator.State() {
+			t.Fatalf("block %s estimator state diverged", id)
+		}
+		if g.FailedRounds != 0 || g.Quarantined != 0 || g.Trips != 0 || g.Panics != 0 {
+			t.Fatalf("block %s: fault counters nonzero without faults: %+v", id, g)
+		}
+	}
+}
+
+func TestSupervisorBreakerQuarantines(t *testing.T) {
+	net, ids := campaignNet(6)
+	bad := ids[2]
+	net.SetTap(failTap{block: bad, until: t0.Add(1000 * time.Hour)})
+	s := &Supervisor{Campaign: Campaign{Net: net, Start: t0, Workers: 4, Seed: 3}}
+	res, err := s.Run(ids, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res[bad]
+	if b.Trips < 2 {
+		t.Fatalf("breaker trips = %d, want >= 2", b.Trips)
+	}
+	if b.Quarantined < 20 {
+		t.Fatalf("quarantined rounds = %d, want most of the run", b.Quarantined)
+	}
+	if b.FailedRounds < 5 {
+		t.Fatalf("failed rounds = %d, want >= MinSamples", b.FailedRounds)
+	}
+	if len(b.Short) != 60 {
+		t.Fatalf("series length %d, want 60 (quarantined rounds hold previous value)", len(b.Short))
+	}
+	// The healthy blocks are untouched.
+	for _, id := range ids {
+		if id == bad {
+			continue
+		}
+		if r := res[id]; r.Trips != 0 || r.Quarantined != 0 || r.FailedRounds != 0 {
+			t.Fatalf("healthy block %s affected: %+v", id, r)
+		}
+	}
+}
+
+func TestSupervisorBreakerRecovers(t *testing.T) {
+	net, ids := campaignNet(3)
+	bad := ids[0]
+	// Fail the block for the first 20 rounds, then let it heal.
+	net.SetTap(failTap{block: bad, until: t0.Add(20 * 660 * time.Second)})
+	s := &Supervisor{Campaign: Campaign{Net: net, Start: t0, Workers: 2, Seed: 3}}
+	res, err := s.Run(ids, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res[bad]
+	if b.Trips == 0 {
+		t.Fatal("breaker never tripped during the failure window")
+	}
+	if b.Estimator.Rounds() < 60 {
+		t.Fatalf("only %d observed rounds after recovery, want the healthy tail", b.Estimator.Rounds())
+	}
+}
+
+func TestSupervisorPanicRecovery(t *testing.T) {
+	net, ids := campaignNet(5)
+	victim := ids[1]
+	s := &Supervisor{Campaign: Campaign{Net: net, Start: t0, Workers: 3, Seed: 3}}
+	s.injectPanic = func(id netsim.BlockID, round int) {
+		if id == victim && round == 7 {
+			panic("probe worker exploded")
+		}
+	}
+	res, err := s.Run(ids, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res[victim]
+	if v.Panics != 1 {
+		t.Fatalf("panics = %d, want 1", v.Panics)
+	}
+	if v.FailedRounds != 1 {
+		t.Fatalf("failed rounds = %d, want 1 (the panicked round)", v.FailedRounds)
+	}
+	if len(v.Short) != 40 {
+		t.Fatalf("series length %d, want 40", len(v.Short))
+	}
+	for _, id := range ids {
+		if id != victim && res[id].Panics != 0 {
+			t.Fatalf("panic leaked to block %s", id)
+		}
+	}
+}
+
+// TestSupervisorCheckpointResume kills a checkpointed campaign mid-run and
+// verifies that resuming reproduces the uninterrupted run exactly, breaker
+// history and all.
+func TestSupervisorCheckpointResume(t *testing.T) {
+	const rounds = 80
+	mk := func() (*Supervisor, []netsim.BlockID) {
+		net, ids := campaignNet(8)
+		// A block that fails for the first 30 rounds exercises failed-round,
+		// breaker, and recovery state across the checkpoint boundary.
+		net.SetTap(failTap{block: ids[3], until: t0.Add(30 * 660 * time.Second)})
+		return &Supervisor{Campaign: Campaign{Net: net, Start: t0, Workers: 4, Seed: 11}}, ids
+	}
+
+	sa, idsA := mk()
+	want, err := sa.Run(idsA, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "campaign.ckpt")
+	sb, idsB := mk()
+	sb.CheckpointPath = ckpt
+	sb.CheckpointEvery = 7
+	sb.stopAfterRound = 38 // not a checkpoint boundary: resume must replay rounds 36-38
+	if _, err := sb.Run(idsB, rounds); !errors.Is(err, ErrStopped) {
+		t.Fatalf("stop hook: err = %v, want ErrStopped", err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	sc, idsC := mk()
+	sc.CheckpointPath = ckpt
+	sc.CheckpointEvery = 7
+	sc.Resume = true
+	got, err := sc.Run(idsC, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for id, w := range want {
+		g := got[id]
+		if len(g.Short) != len(w.Short) {
+			t.Fatalf("block %s: %d vs %d samples", id, len(g.Short), len(w.Short))
+		}
+		for i := range w.Short {
+			if g.Short[i] != w.Short[i] {
+				t.Fatalf("block %s round %d: resumed %v vs uninterrupted %v", id, i, g.Short[i], w.Short[i])
+			}
+		}
+		if g.Estimator.State() != w.Estimator.State() {
+			t.Fatalf("block %s: estimator state diverged after resume", id)
+		}
+		if g.FailedRounds != w.FailedRounds || g.Quarantined != w.Quarantined || g.Trips != w.Trips {
+			t.Fatalf("block %s: counters diverged: resumed %+v vs %+v", id, g, w)
+		}
+		if len(g.Events) != len(w.Events) {
+			t.Fatalf("block %s: %d vs %d events", id, len(g.Events), len(w.Events))
+		}
+		for i := range w.Events {
+			if g.Events[i] != w.Events[i] {
+				t.Fatalf("block %s event %d: %+v vs %+v", id, i, g.Events[i], w.Events[i])
+			}
+		}
+	}
+}
+
+func TestSupervisorResumeRejectsMismatchedCampaign(t *testing.T) {
+	net, ids := campaignNet(4)
+	ckpt := filepath.Join(t.TempDir(), "campaign.ckpt")
+	s := &Supervisor{Campaign: Campaign{Net: net, Start: t0, Seed: 1}}
+	s.CheckpointPath = ckpt
+	s.CheckpointEvery = 5
+	s.stopAfterRound = 10
+	if _, err := s.Run(ids, 40); !errors.Is(err, ErrStopped) {
+		t.Fatal(err)
+	}
+
+	net2, ids2 := campaignNet(4)
+	s2 := &Supervisor{Campaign: Campaign{Net: net2, Start: t0, Seed: 2}} // wrong seed
+	s2.CheckpointPath = ckpt
+	s2.Resume = true
+	if _, err := s2.Run(ids2, 40); err == nil {
+		t.Fatal("resume with mismatched seed must fail")
+	}
+	// A missing file is not an error: the run simply starts fresh.
+	s3 := &Supervisor{Campaign: Campaign{Net: net2, Start: t0, Seed: 1}}
+	s3.CheckpointPath = filepath.Join(t.TempDir(), "missing.ckpt")
+	s3.Resume = true
+	if _, err := s3.Run(ids2, 5); err != nil {
+		t.Fatalf("missing checkpoint should start fresh: %v", err)
+	}
+}
+
+func TestCampaignBudgetSkipHoldsPreviousShort(t *testing.T) {
+	net, ids := campaignNet(30)
+	budget, err := NewTokenBucket(0.2, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Campaign{Net: net, Start: t0, Seed: 3, Budget: budget}
+	res, err := c.Run(ids, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalSkipped := 0
+	for id, r := range res {
+		totalSkipped += r.Skipped
+		if r.Skipped+r.Estimator.Rounds() != 100 {
+			t.Fatalf("block %s: %d skipped + %d observed != 100 rounds", id, r.Skipped, r.Estimator.Rounds())
+		}
+		// A skipped round must hold the previous Âs: the series never moves
+		// on a round the estimator did not observe. Detect skips as rounds
+		// where consecutive values are exactly equal only when skipped > 0.
+		if r.Skipped > 0 {
+			holds := 0
+			for i := 1; i < len(r.Short); i++ {
+				if r.Short[i] == r.Short[i-1] {
+					holds++
+				}
+			}
+			if holds < r.Skipped-1 {
+				t.Fatalf("block %s: %d skips but only %d held values", id, r.Skipped, holds)
+			}
+		}
+	}
+	if totalSkipped == 0 {
+		t.Fatal("tight budget should skip rounds")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"sleepnet/internal/icmp"
 	"sleepnet/internal/ipv4"
 	"sleepnet/internal/netsim"
+	"sleepnet/internal/prf"
 )
 
 // ProbeNetwork is the slice of the network the prober needs: delivery of a
@@ -71,6 +73,63 @@ type Config struct {
 	// SrcIP is the vantage point's source address stamped on probes.
 	// Defaults to 198.51.100.1 (TEST-NET-2).
 	SrcIP ipv4.Addr
+	// Retry enables per-probe retry of vantage-local send failures with
+	// exponential backoff and jitter, bounded so a round cannot outgrow its
+	// 11-minute slot. Silence is never retried — a timeout is evidence about
+	// the target, a send error is not.
+	Retry RetryConfig
+}
+
+// RetryConfig tunes per-probe retry of transient (vantage-local) failures.
+type RetryConfig struct {
+	// MaxAttempts is the total number of attempts per probe including the
+	// first; values below 2 disable retrying.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 2s); each
+	// further retry doubles it up to MaxBackoff (default 60s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterFrac adds a uniform draw in [0, JitterFrac) of the delay
+	// (default 0.5) so retries from many blocks do not synchronize.
+	JitterFrac float64
+	// Budget caps the cumulative in-round backoff (default 9 minutes, under
+	// the 11-minute round).
+	Budget time.Duration
+}
+
+func (r RetryConfig) withDefaults() RetryConfig {
+	if r.MaxAttempts < 2 {
+		return r
+	}
+	if r.BaseBackoff <= 0 {
+		r.BaseBackoff = 2 * time.Second
+	}
+	if r.MaxBackoff <= 0 {
+		r.MaxBackoff = 60 * time.Second
+	}
+	if r.JitterFrac == 0 {
+		r.JitterFrac = 0.5
+	}
+	if r.JitterFrac < 0 {
+		r.JitterFrac = 0
+	}
+	if r.Budget <= 0 {
+		r.Budget = 9 * time.Minute
+	}
+	return r
+}
+
+// delay returns the backoff before retry number attempt (1-based), before
+// jitter.
+func (r RetryConfig) delay(attempt int) time.Duration {
+	d := r.BaseBackoff
+	for i := 1; i < attempt && d < r.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > r.MaxBackoff {
+		d = r.MaxBackoff
+	}
+	return d
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +154,7 @@ func (c Config) withDefaults() Config {
 	if c.SrcIP == (ipv4.Addr{}) {
 		c.SrcIP = ipv4.Addr{198, 51, 100, 1}
 	}
+	c.Retry = c.Retry.withDefaults()
 	return c
 }
 
@@ -113,7 +173,19 @@ type RoundObs struct {
 	// negative but informative evidence (a gateway confirmed the block is
 	// gone, rather than a probe simply timing out).
 	Unreachable int
+	// Retries counts send attempts repeated after vantage-local failures.
+	Retries int
+	// SendErrors counts probes that failed locally even after retries; they
+	// carry no evidence about the block and are excluded from Total.
+	SendErrors int
+	// RateLimited is 1 when the round was cut short by an administratively-
+	// prohibited answer (measurement interference, not evidence).
+	RateLimited int
 }
+
+// Failed reports whether the round produced no usable observation: every
+// probe died at the vantage point or was eaten by rate limiting.
+func (o RoundObs) Failed() bool { return o.Total == 0 }
 
 // Rate returns the raw p/t ratio of the round.
 func (o RoundObs) Rate() float64 {
@@ -270,22 +342,55 @@ func (p *Prober) ProbeRound(id netsim.BlockID, now time.Time, aOp float64) (Roun
 	if p.cfg.FixedProbes > 0 && !obs.Cold {
 		maxProbes = p.cfg.FixedProbes
 	}
+	// backoffUsed shifts every later probe of the round: retried probes
+	// really happen that much later in virtual time, which is what lets a
+	// retry escape a vantage blackout window.
+	var backoffUsed time.Duration
+probing:
 	for obs.Total < maxProbes {
 		host := st.walk[st.pos]
 		st.pos = (st.pos + 1) % len(st.walk)
 		st.seq++
-		outcome := p.sendProbe(st, host, now)
-		obs.Total++
+		outcome := p.sendProbe(st, host, now.Add(backoffUsed))
+		for attempt := 1; outcome == outcomeSendError && attempt < p.cfg.Retry.MaxAttempts; attempt++ {
+			d := p.cfg.Retry.delay(attempt)
+			if p.cfg.Retry.JitterFrac > 0 {
+				j := prf.Float(p.seed^0x7e77, uint64(st.id), uint64(st.seq), uint64(attempt))
+				d += time.Duration(j * p.cfg.Retry.JitterFrac * float64(d))
+			}
+			if backoffUsed+d > p.cfg.Retry.Budget {
+				break
+			}
+			backoffUsed += d
+			obs.Retries++
+			st.seq++
+			outcome = p.sendProbe(st, host, now.Add(backoffUsed))
+		}
 		switch outcome {
+		case outcomeSendError:
+			// The vantage point is down and the retry budget is spent;
+			// further probes this round would fail the same way. No belief
+			// update — a local failure says nothing about the block.
+			obs.SendErrors++
+			break probing
+		case outcomeRateLimited:
+			// An admin-prohibited answer means an intermediate device is
+			// eating our probes: stop the round so the interference cannot
+			// masquerade as down evidence and burn the reply budget.
+			obs.RateLimited++
+			break probing
 		case outcomePositive:
+			obs.Total++
 			obs.Positive++
 			belief = updateBelief(belief, true, aOp, p.cfg.PositiveWhenDown)
 		case outcomeUnreachable:
+			obs.Total++
 			obs.Unreachable++
 			// A gateway's destination-unreachable is much stronger down
 			// evidence than silence: likelihood ~1% if up, ~30% if down.
 			belief = applyLikelihoods(belief, 0.01, 0.3)
 		default:
+			obs.Total++
 			belief = updateBelief(belief, false, aOp, p.cfg.PositiveWhenDown)
 		}
 		if p.cfg.FixedProbes <= 0 && (belief >= p.cfg.BeliefUp || belief <= p.cfg.BeliefDown) {
@@ -325,6 +430,13 @@ const (
 	// outcomeUnreachable is an ICMP destination-unreachable quoting our
 	// probe — an informative negative.
 	outcomeUnreachable
+	// outcomeSendError is a vantage-local send failure (no evidence,
+	// retryable).
+	outcomeSendError
+	// outcomeRateLimited is an administratively-prohibited unreachable
+	// quoting our probe: rate limiting, i.e. interference rather than
+	// evidence.
+	outcomeRateLimited
 )
 
 // sendProbe emits one IPv4-encapsulated ICMP echo and classifies the
@@ -350,6 +462,9 @@ func (p *Prober) sendProbe(st *blockState, host byte, now time.Time) probeOutcom
 	}
 	p.probesSent.Add(1)
 	resp := p.net.DeliverIP(pkt, now)
+	if resp.SendFailed {
+		return outcomeSendError
+	}
 	if resp.Timeout || resp.Data == nil {
 		return outcomeNegative
 	}
@@ -375,6 +490,9 @@ func (p *Prober) sendProbe(st *blockState, host byte, now time.Time) probeOutcom
 		orig, err := icmp.ParseEcho(inner)
 		if err != nil || orig.Reply || orig.ID != p.cfg.ProbeID || orig.Seq != st.seq {
 			return outcomeNegative
+		}
+		if un.Code == icmp.CodeAdminProhibited {
+			return outcomeRateLimited
 		}
 		return outcomeUnreachable
 	case icmp.TypeEchoReply:
@@ -419,6 +537,71 @@ func clamp(v, lo, hi float64) float64 {
 		return hi
 	}
 	return v
+}
+
+// BlockState is the serializable per-block prober memory, used by the
+// campaign supervisor's checkpoint files. The pseudorandom walk itself is
+// not stored: it is a pure function of (seed, ever-active set) and is
+// rebuilt by AddBlock; only the cursor position travels.
+type BlockState struct {
+	ID         netsim.BlockID
+	Belief     float64
+	Up         bool
+	Round      int
+	Pos        int
+	Seq        uint16
+	DownStreak int
+}
+
+// State is the full serializable prober state.
+type State struct {
+	Epoch  time.Time
+	Blocks []BlockState
+}
+
+// ExportState snapshots the prober's memory. It must not be called while
+// rounds are in flight. Blocks are sorted by id so the snapshot is
+// deterministic.
+func (p *Prober) ExportState() State {
+	s := State{Epoch: p.epoch, Blocks: make([]BlockState, 0, len(p.states))}
+	for id, st := range p.states {
+		s.Blocks = append(s.Blocks, BlockState{
+			ID:         id,
+			Belief:     st.belief,
+			Up:         st.up,
+			Round:      st.round,
+			Pos:        st.pos,
+			Seq:        st.seq,
+			DownStreak: st.downStreak,
+		})
+	}
+	sort.Slice(s.Blocks, func(i, j int) bool { return s.Blocks[i].ID < s.Blocks[j].ID })
+	return s
+}
+
+// RestoreState loads a snapshot taken by ExportState. Every snapshotted
+// block must already have been re-registered with AddBlock (which rebuilds
+// its walk deterministically).
+func (p *Prober) RestoreState(s State) error {
+	for _, bs := range s.Blocks {
+		st, ok := p.states[bs.ID]
+		if !ok {
+			return fmt.Errorf("trinocular: restore: block %s not tracked", bs.ID)
+		}
+		if bs.Pos < 0 || bs.Pos >= len(st.walk) {
+			return fmt.Errorf("trinocular: restore: block %s walk position %d out of range", bs.ID, bs.Pos)
+		}
+		st.belief = bs.Belief
+		st.up = bs.Up
+		st.round = bs.Round
+		st.pos = bs.Pos
+		st.seq = bs.Seq
+		st.downStreak = bs.DownStreak
+	}
+	if !s.Epoch.IsZero() {
+		p.epochOnce.Do(func() { p.epoch = s.Epoch })
+	}
+	return nil
 }
 
 // Belief exposes the current belief for a block (tests and diagnostics).
