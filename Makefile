@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check fuzz
+.PHONY: all build vet test race check fuzz bench
 
 all: check
 
@@ -25,3 +25,9 @@ check: vet build race
 # fuzz runs the icmp parser fuzzer for a short budget.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=30s ./internal/icmp
+
+# bench runs the top-level paper benchmarks once each and persists the
+# parsed measurements (ns/op, B/op, allocs/op per benchmark) as
+# BENCH_seed.json for cross-commit regression diffing.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x . | $(GO) run ./cmd/benchjson -o BENCH_seed.json

@@ -1,0 +1,125 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON map of benchmark name to measured values — the
+// format `make bench` persists as BENCH_seed.json so performance regressions
+// can be diffed across commits without reparsing free text.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem . | benchjson -o BENCH_seed.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result holds one benchmark's measurements. Field names follow the
+// benchmark output units.
+type result struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	results := map[string]result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the terminal
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, res, ok := parseBenchLine(line)
+		if ok {
+			results[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	// A sorted map keyed by name serializes deterministically.
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ordered := make(map[string]result, len(results))
+	for _, n := range names {
+		ordered[n] = results[n]
+	}
+	data, err := json.MarshalIndent(ordered, "", "  ")
+	fatal(err)
+	data = append(data, '\n')
+
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		fatal(err)
+		return
+	}
+	fatal(os.WriteFile(*out, data, 0o644))
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// parseBenchLine parses one `BenchmarkName-N  iters  v unit  v unit ...`
+// line. Lines without an ns/op measurement are rejected.
+func parseBenchLine(line string) (string, result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// Strip the GOMAXPROCS suffix: BenchmarkFoo-8 -> BenchmarkFoo.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", result{}, false
+	}
+	res := result{Iterations: iters, NsPerOp: -1}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			b := v
+			res.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			res.AllocsPerOp = &a
+		}
+	}
+	if res.NsPerOp < 0 {
+		return "", result{}, false
+	}
+	return name, res, true
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

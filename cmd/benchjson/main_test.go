@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	name, res, ok := parseBenchLine("BenchmarkFig4CorrelationShortTerm-8   \t       3\t 349129712 ns/op\t 1024 B/op\t      12 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if name != "BenchmarkFig4CorrelationShortTerm" {
+		t.Fatalf("name = %q", name)
+	}
+	if res.Iterations != 3 || res.NsPerOp != 349129712 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.BytesPerOp == nil || *res.BytesPerOp != 1024 {
+		t.Fatalf("bytes = %v", res.BytesPerOp)
+	}
+	if res.AllocsPerOp == nil || *res.AllocsPerOp != 12 {
+		t.Fatalf("allocs = %v", res.AllocsPerOp)
+	}
+}
+
+func TestParseBenchLineNoMem(t *testing.T) {
+	name, res, ok := parseBenchLine("BenchmarkGoertzel-16 12345 987.6 ns/op")
+	if !ok || name != "BenchmarkGoertzel" || res.NsPerOp != 987.6 {
+		t.Fatalf("got %q %+v %v", name, res, ok)
+	}
+	if res.BytesPerOp != nil || res.AllocsPerOp != nil {
+		t.Fatal("unexpected mem stats")
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"BenchmarkX-8",
+		"BenchmarkX-8 abc 1 ns/op",
+		"BenchmarkX-8 10 1 bogo/op",
+		"goos: linux",
+	} {
+		if _, _, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q accepted", line)
+		}
+	}
+}

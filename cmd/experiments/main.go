@@ -18,7 +18,9 @@ import (
 
 	"sleepnet/internal/analysis"
 	"sleepnet/internal/core"
+	"sleepnet/internal/dsp"
 	"sleepnet/internal/geo"
+	"sleepnet/internal/metrics"
 	"sleepnet/internal/netsim"
 	"sleepnet/internal/report"
 	"sleepnet/internal/stats"
@@ -27,18 +29,21 @@ import (
 )
 
 var (
-	flagBlocks = flag.Int("blocks", 3000, "blocks in the simulated world")
-	flagSeed   = flag.Uint64("seed", 42, "world and measurement seed")
-	flagDays   = flag.Int("days", 14, "days of probing for world-scale studies")
-	flagQuick  = flag.Bool("quick", false, "smaller populations and sweeps")
-	flagPNG    = flag.String("png", "", "directory to write fig12/fig13 world maps as PNG")
+	flagBlocks     = flag.Int("blocks", 3000, "blocks in the simulated world")
+	flagSeed       = flag.Uint64("seed", 42, "world and measurement seed")
+	flagDays       = flag.Int("days", 14, "days of probing for world-scale studies")
+	flagQuick      = flag.Bool("quick", false, "smaller populations and sweeps")
+	flagPNG        = flag.String("png", "", "directory to write fig12/fig13 world maps as PNG")
+	flagMetrics    = flag.Bool("metrics", false, "instrument the runs and print cost metrics at the end")
+	flagMetricsOut = flag.String("metricsout", "", "write the metrics snapshot as JSON to this file")
 )
 
 // ctx lazily builds the shared world and study.
 type ctx struct {
-	world *world.World
-	study *analysis.Study
-	geoDB *geo.DB
+	world   *world.World
+	study   *analysis.Study
+	geoDB   *geo.DB
+	metrics *metrics.Registry
 }
 
 func (c *ctx) World() *world.World {
@@ -65,6 +70,7 @@ func (c *ctx) Study() *analysis.Study {
 			RestartInterval: 5*time.Hour + 30*time.Minute,
 			MissingRate:     0.03,
 			DuplicateRate:   0.02,
+			Metrics:         c.metrics,
 		})
 		must(err)
 		c.study = st
@@ -107,6 +113,11 @@ func main() {
 		os.Exit(2)
 	}
 	c := &ctx{}
+	if *flagMetrics || *flagMetricsOut != "" {
+		c.metrics = metrics.New()
+		dsp.SetMetrics(c.metrics)
+		defer dsp.SetMetrics(nil)
+	}
 	runners := experimentRunners()
 	var ids []string
 	if len(args) == 1 && args[0] == "all" {
@@ -126,6 +137,20 @@ func main() {
 		}
 		fmt.Printf("\n===== %s =====\n", strings.ToLower(id))
 		run(c)
+	}
+	if c.metrics != nil {
+		snap := c.metrics.Snapshot()
+		if *flagMetrics {
+			fmt.Println("\n===== run metrics =====")
+			fmt.Print(report.Metrics(snap))
+		}
+		if *flagMetricsOut != "" {
+			f, err := os.Create(*flagMetricsOut)
+			must(err)
+			must(snap.WriteJSON(f))
+			must(f.Close())
+			fmt.Printf("metrics snapshot written to %s\n", *flagMetricsOut)
+		}
 	}
 }
 
@@ -390,7 +415,7 @@ func table2(c *ctx) {
 	fmt.Println("Table 2: agreement between two vantage points over the same world")
 	a := c.Study()
 	b, err := analysis.MeasureWorld(c.World(), analysis.StudyConfig{
-		Days: *flagDays, Seed: *flagSeed ^ 0x7e1e,
+		Days: *flagDays, Seed: *flagSeed ^ 0x7e1e, Metrics: c.metrics,
 	})
 	must(err)
 	cs, err := analysis.CompareSites(a, b)
@@ -684,7 +709,7 @@ func outages(c *ctx) {
 	}
 	w, err := world.Generate(world.Config{Blocks: n, Seed: *flagSeed ^ 0x0047, OutagesPerBlockWeek: 0.2})
 	must(err)
-	st, err := analysis.MeasureWorld(w, analysis.StudyConfig{Days: *flagDays, Seed: *flagSeed})
+	st, err := analysis.MeasureWorld(w, analysis.StudyConfig{Days: *flagDays, Seed: *flagSeed, Metrics: c.metrics})
 	must(err)
 	min := n / 400
 	if min < 3 {

@@ -28,6 +28,7 @@ func main() {
 	by := flag.String("by", "", "breakdown dimension: country, region, link")
 	org := flag.String("org", "", "show blocks whose organization matches this keyword")
 	csvPath := flag.String("csv", "", "re-export records as CSV to this file")
+	showMetrics := flag.Bool("metrics", false, "print the full metrics snapshot saved with the dataset")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: inspect [flags] <dataset file>")
@@ -43,6 +44,15 @@ func main() {
 	fmt.Printf("diurnal: %d strict (%s), %d relaxed, %d non-diurnal (either: %s)\n",
 		sum.Strict, report.Pct(sum.StrictFraction), sum.Relaxed, sum.NonDiurnal,
 		report.Pct(sum.EitherFraction))
+
+	if !ds.Metrics.Empty() {
+		fmt.Println("run cost:")
+		fmt.Print(report.RunCost(ds.Metrics))
+	}
+	if *showMetrics {
+		fmt.Println("\nrun metrics:")
+		fmt.Print(report.Metrics(ds.Metrics))
+	}
 
 	switch *by {
 	case "":

@@ -22,8 +22,10 @@ import (
 	"sleepnet/internal/analysis"
 	"sleepnet/internal/core"
 	"sleepnet/internal/dataset"
+	"sleepnet/internal/dsp"
 	"sleepnet/internal/faults"
 	"sleepnet/internal/geo"
+	"sleepnet/internal/metrics"
 	"sleepnet/internal/report"
 	"sleepnet/internal/trinocular"
 	"sleepnet/internal/world"
@@ -48,6 +50,7 @@ func main() {
 	retries := flag.Int("retries", 0, "retry attempts per probe for local send failures (0 = off)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint measured blocks to this file")
 	resume := flag.Bool("resume", false, "resume from -checkpoint, skipping measured blocks")
+	withMetrics := flag.Bool("metrics", false, "instrument the run and report its cost metrics")
 	flag.Parse()
 
 	w, err := world.Generate(world.Config{
@@ -77,6 +80,13 @@ func main() {
 	}
 	if *restarts {
 		cfg.RestartInterval = 5*time.Hour + 30*time.Minute
+	}
+	var reg *metrics.Registry
+	if *withMetrics {
+		reg = metrics.New()
+		cfg.Metrics = reg
+		dsp.SetMetrics(reg)
+		defer dsp.SetMetrics(nil)
 	}
 	t0 := time.Now()
 	st, err := analysis.MeasureWorld(w, cfg)
@@ -124,6 +134,9 @@ func main() {
 				"probeSendErrors":  se,
 				"probeRateLimited": rl,
 			}
+		}
+		if reg != nil {
+			out["metrics"] = reg.Snapshot()
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -192,15 +205,24 @@ func main() {
 		}
 	}
 
-	saveDataset(st, *savePath, *csvPath)
+	if reg != nil {
+		fmt.Println("\nrun metrics:")
+		fmt.Print(report.Metrics(reg.Snapshot()))
+	}
+
+	saveDataset(st, reg, *savePath, *csvPath)
 }
 
-// saveDataset persists the study when output paths were requested.
-func saveDataset(st *analysis.Study, savePath, csvPath string) {
+// saveDataset persists the study when output paths were requested, attaching
+// the run-cost snapshot when the campaign was instrumented.
+func saveDataset(st *analysis.Study, reg *metrics.Registry, savePath, csvPath string) {
 	if savePath == "" && csvPath == "" {
 		return
 	}
 	ds := dataset.FromStudy(st)
+	if reg != nil {
+		ds.Metrics = reg.Snapshot()
+	}
 	if savePath != "" {
 		fatal(ds.Save(savePath))
 		fmt.Printf("\ndataset saved to %s (%d records)\n", savePath, len(ds.Blocks))

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"sleepnet/internal/dsp"
+	"sleepnet/internal/metrics"
+	"sleepnet/internal/world"
+)
+
+// goldenRecord is the serialized per-block outcome the golden test compares.
+type goldenRecord struct {
+	ID           uint32  `json:"id"`
+	Class        int     `json:"class"`
+	Phase        float64 `json:"phase"`
+	StrongestCPD float64 `json:"strongest_cpd"`
+	Days         int     `json:"days"`
+	ProbesSent   int64   `json:"probes_sent"`
+	Sparse       bool    `json:"sparse"`
+	Partial      bool    `json:"partial"`
+	Quarantined  bool    `json:"quarantined"`
+}
+
+// TestGoldenPipelineDeterminism pins DESIGN.md's byte-identical fast path:
+// a fault-free 50-block measurement run twice with the same seed must
+// serialize to byte-identical classifications AND a byte-identical
+// deterministic metrics snapshot, regardless of worker scheduling. This is
+// the regression tripwire for anything that sneaks wall-clock, map-order, or
+// scheduling dependence into the measurement path or its instrumentation.
+func TestGoldenPipelineDeterminism(t *testing.T) {
+	run := func() ([]byte, []byte) {
+		w, err := world.Generate(world.Config{Blocks: 50, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := metrics.New()
+		dsp.SetMetrics(reg)
+		defer dsp.SetMetrics(nil)
+		st, err := MeasureWorld(w, StudyConfig{
+			Days:    3,
+			Seed:    7 ^ 0x5ca9,
+			Workers: 4,
+			Metrics: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := make([]goldenRecord, 0, len(st.Blocks))
+		for _, b := range st.Blocks {
+			recs = append(recs, goldenRecord{
+				ID:           uint32(b.Info.ID),
+				Class:        int(b.Class),
+				Phase:        b.Phase,
+				StrongestCPD: b.StrongestCPD,
+				Days:         b.Days,
+				ProbesSent:   b.ProbesSent,
+				Sparse:       b.Sparse,
+				Partial:      b.Partial,
+				Quarantined:  b.Quarantined,
+			})
+		}
+		classes, err := json.MarshalIndent(recs, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap bytes.Buffer
+		if err := reg.Snapshot().Deterministic().WriteJSON(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return classes, snap.Bytes()
+	}
+
+	classesA, snapA := run()
+	classesB, snapB := run()
+	if !bytes.Equal(classesA, classesB) {
+		t.Errorf("classifications differ across same-seed runs:\n%s\nvs\n%s", classesA, classesB)
+	}
+	if !bytes.Equal(snapA, snapB) {
+		t.Errorf("metrics snapshots differ across same-seed runs:\n%s\nvs\n%s", snapA, snapB)
+	}
+	if len(snapA) == 0 || !bytes.Contains(snapA, []byte("trinocular.probes_sent")) {
+		t.Fatalf("snapshot missing expected counters:\n%s", snapA)
+	}
+}

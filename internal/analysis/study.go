@@ -20,6 +20,7 @@ import (
 
 	"sleepnet/internal/core"
 	"sleepnet/internal/faults"
+	"sleepnet/internal/metrics"
 	"sleepnet/internal/outage"
 	"sleepnet/internal/trinocular"
 	"sleepnet/internal/world"
@@ -120,6 +121,10 @@ type StudyConfig struct {
 	CheckpointPath string
 	// Resume skips blocks already present in CheckpointPath.
 	Resume bool
+	// Metrics, when non-nil, receives study-level counters (blocks measured,
+	// sparse, failed, partial, quarantined) plus a per-block wall-time
+	// histogram, and is forwarded to the pipeline and prober underneath.
+	Metrics *metrics.Registry
 }
 
 func (c StudyConfig) withDefaults() StudyConfig {
@@ -152,8 +157,10 @@ func MeasureWorld(w *world.World, sc StudyConfig) (*Study, error) {
 		MissingRate:   sc.MissingRate,
 		DuplicateRate: sc.DuplicateRate,
 		Prober:        trinocular.Config{RestartInterval: sc.RestartInterval, Retry: sc.Retry},
+		Metrics:       sc.Metrics,
 	}
 	pl := core.NewPipeline(w.Net, cfg)
+	sm := newStudyMetrics(sc.Metrics)
 	study := &Study{World: w, Cfg: pl.Config(), Blocks: make([]MeasuredBlock, len(w.Blocks))}
 
 	// Attach the fault injector for the duration of the measurement.
@@ -190,8 +197,11 @@ func MeasureWorld(w *world.World, sc StudyConfig) (*Study, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
+				stop := sm.blockSeconds.Time()
 				mb := measureOne(pl, w.Blocks[i])
 				finishBlock(&mb, inj, cfg.Rounds, sc.QuarantineFailedFrac)
+				stop()
+				sm.record(mb)
 				study.Blocks[i] = mb
 				if cw != nil {
 					if err := cw.Append(i, mb); err != nil {
@@ -218,6 +228,46 @@ func MeasureWorld(w *world.World, sc StudyConfig) (*Study, error) {
 	default:
 	}
 	return study, nil
+}
+
+// studyMetrics caches the study-level instruments; all handles are nil (and
+// every use a no-op) when the study is uninstrumented.
+type studyMetrics struct {
+	measured     *metrics.Counter
+	sparse       *metrics.Counter
+	failed       *metrics.Counter
+	partial      *metrics.Counter
+	quarantined  *metrics.Counter
+	blockSeconds *metrics.Histogram
+}
+
+func newStudyMetrics(r *metrics.Registry) studyMetrics {
+	return studyMetrics{
+		measured:    r.Counter("analysis.blocks_measured"),
+		sparse:      r.Counter("analysis.blocks_sparse"),
+		failed:      r.Counter("analysis.blocks_failed"),
+		partial:     r.Counter("analysis.blocks_partial"),
+		quarantined: r.Counter("analysis.blocks_quarantined"),
+		blockSeconds: r.Histogram("analysis.block_seconds",
+			metrics.UnitSeconds, metrics.ExpBuckets(1e-4, 10, 7)),
+	}
+}
+
+// record tallies one finished block into the study counters.
+func (m studyMetrics) record(mb MeasuredBlock) {
+	switch {
+	case mb.Sparse:
+		m.sparse.Inc()
+	case mb.ErrMsg != "":
+		m.failed.Inc()
+	case mb.Quarantined:
+		m.quarantined.Inc()
+	default:
+		m.measured.Inc()
+		if mb.Partial {
+			m.partial.Inc()
+		}
+	}
 }
 
 // finishBlock attaches the injector's per-block accounting and applies the

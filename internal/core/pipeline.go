@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"sleepnet/internal/metrics"
 	"sleepnet/internal/netsim"
 	"sleepnet/internal/prf"
 	"sleepnet/internal/timeseries"
@@ -30,6 +31,10 @@ type PipelineConfig struct {
 	Seed uint64
 	// Prober carries the Trinocular policy knobs.
 	Prober trinocular.Config
+	// Metrics, when non-nil, receives pipeline counters and per-phase timing
+	// histograms (probe, clean, classify) and is forwarded to the prober.
+	// Nil keeps the measurement path uninstrumented and clock-free.
+	Metrics *metrics.Registry
 }
 
 func (c PipelineConfig) withDefaults() PipelineConfig {
@@ -86,17 +91,45 @@ type BlockRun struct {
 	RateLimited int
 }
 
+// pipelineMetrics caches the pipeline's instruments. All fields are nil when
+// the pipeline is uninstrumented; every method on a nil instrument is a no-op.
+type pipelineMetrics struct {
+	blocks          *metrics.Counter
+	rounds          *metrics.Counter
+	failedRounds    *metrics.Counter
+	probeSeconds    *metrics.Histogram
+	cleanSeconds    *metrics.Histogram
+	classifySeconds *metrics.Histogram
+}
+
+func newPipelineMetrics(r *metrics.Registry) pipelineMetrics {
+	timing := metrics.ExpBuckets(1e-5, 10, 8)
+	return pipelineMetrics{
+		blocks:          r.Counter("pipeline.blocks_measured"),
+		rounds:          r.Counter("pipeline.rounds"),
+		failedRounds:    r.Counter("pipeline.failed_rounds"),
+		probeSeconds:    r.Histogram("pipeline.probe_seconds", metrics.UnitSeconds, timing),
+		cleanSeconds:    r.Histogram("pipeline.clean_seconds", metrics.UnitSeconds, timing),
+		classifySeconds: r.Histogram("pipeline.classify_seconds", metrics.UnitSeconds, timing),
+	}
+}
+
 // Pipeline runs the full §2 measurement chain over blocks of a simulated
 // network: adaptive probing -> EWMA estimation -> cleaning -> midnight trim
 // -> spectral diurnal detection.
 type Pipeline struct {
 	cfg PipelineConfig
 	net *netsim.Network
+	pm  pipelineMetrics
 }
 
 // NewPipeline creates a pipeline over the network.
 func NewPipeline(net *netsim.Network, cfg PipelineConfig) *Pipeline {
-	return &Pipeline{cfg: cfg.withDefaults(), net: net}
+	cfg = cfg.withDefaults()
+	if cfg.Prober.Metrics == nil {
+		cfg.Prober.Metrics = cfg.Metrics
+	}
+	return &Pipeline{cfg: cfg, net: net, pm: newPipelineMetrics(cfg.Metrics)}
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -127,6 +160,7 @@ func (pl *Pipeline) RunBlock(id netsim.BlockID) (*BlockRun, error) {
 	est := NewEstimator(pl.cfg.InitialA)
 	samples := make([]timeseries.Sample, 0, pl.cfg.Rounds)
 
+	stopProbe := pl.pm.probeSeconds.Time()
 	for r := 0; r < pl.cfg.Rounds; r++ {
 		now := pl.cfg.Start.Add(time.Duration(r) * pl.cfg.Period)
 		obs, err := prober.ProbeRound(id, now, est.Operational())
@@ -167,8 +201,12 @@ func (pl *Pipeline) RunBlock(id netsim.BlockID) (*BlockRun, error) {
 		run.LongTerm = append(run.LongTerm, est.LongTerm())
 		run.RawRate = append(run.RawRate, obs.Rate())
 	}
+	stopProbe()
 	run.ProbesSent = prober.ProbesSent()
+	pl.pm.rounds.Add(int64(pl.cfg.Rounds))
+	pl.pm.failedRounds.Add(int64(run.FailedRounds))
 
+	stopClean := pl.pm.cleanSeconds.Time()
 	cleaned, st, err := timeseries.Clean(samples, pl.cfg.Rounds)
 	if err != nil {
 		return nil, fmt.Errorf("core: cleaning block %s: %w", id, err)
@@ -180,15 +218,19 @@ func (pl *Pipeline) RunBlock(id netsim.BlockID) (*BlockRun, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: trimming block %s: %w", id, err)
 	}
+	stopClean()
 	run.Trimmed = trimmed
 	run.Days = timeseries.NearestDays(trimmed.Len(), trimmed.Period)
 	run.SlopePerDay = trimmed.SlopePerDay()
 
+	stopClassify := pl.pm.classifySeconds.Time()
 	res, err := DetectDiurnal(trimmed.Values, run.Days)
 	if err != nil {
 		return nil, fmt.Errorf("core: classifying block %s: %w", id, err)
 	}
+	stopClassify()
 	run.Result = res
+	pl.pm.blocks.Inc()
 	return run, nil
 }
 

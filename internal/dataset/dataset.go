@@ -19,6 +19,7 @@ import (
 
 	"sleepnet/internal/analysis"
 	"sleepnet/internal/core"
+	"sleepnet/internal/metrics"
 )
 
 // magic and version identify the file format.
@@ -59,6 +60,11 @@ type Dataset struct {
 	Days      int
 	Rounds    int
 	Blocks    []BlockRecord
+	// Metrics is the run-cost snapshot of the campaign that produced the
+	// dataset (probes sent, rounds, per-phase tallies). Zero-valued for
+	// uninstrumented runs and for files written before the field existed —
+	// gob decodes both identically, so the format version stays at 1.
+	Metrics metrics.Snapshot
 }
 
 // FromStudy converts a study into its persistable form.

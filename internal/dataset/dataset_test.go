@@ -10,6 +10,7 @@ import (
 
 	"sleepnet/internal/analysis"
 	"sleepnet/internal/core"
+	"sleepnet/internal/metrics"
 	"sleepnet/internal/world"
 )
 
@@ -153,5 +154,56 @@ func TestDiurnalClassRecovery(t *testing.T) {
 func TestBlockString(t *testing.T) {
 	if got := blockString(0x01091500); got != "1.9.21/24" {
 		t.Fatalf("blockString = %q", got)
+	}
+}
+
+// TestMetricsSnapshotRoundTrip pins that a run-cost snapshot attached to a
+// dataset survives serialization, and that files written without one decode
+// to an empty snapshot (the pre-snapshot format is version-compatible).
+func TestMetricsSnapshotRoundTrip(t *testing.T) {
+	st := testStudy(t)
+	ds := FromStudy(st)
+
+	reg := metrics.New()
+	reg.Counter("trinocular.probes_sent").Add(12345)
+	reg.Counter("analysis.blocks_measured").Add(250)
+	reg.Gauge("campaign.progress").Set(1)
+	reg.Histogram("supervisor.checkpoint_bytes", "bytes", metrics.ExpBuckets(1024, 4, 4)).Observe(2048)
+	ds.Metrics = reg.Snapshot()
+
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Metrics.Counter("trinocular.probes_sent") != 12345 {
+		t.Fatalf("probes_sent = %d", got.Metrics.Counter("trinocular.probes_sent"))
+	}
+	wantJSON, gotJSON := new(bytes.Buffer), new(bytes.Buffer)
+	if err := ds.Metrics.WriteJSON(wantJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Metrics.WriteJSON(gotJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON.Bytes(), gotJSON.Bytes()) {
+		t.Fatalf("snapshot changed across round trip:\n%s\nvs\n%s", wantJSON, gotJSON)
+	}
+
+	// A dataset written without a snapshot reads back empty.
+	plain := FromStudy(st)
+	buf.Reset()
+	if err := plain.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Metrics.Empty() {
+		t.Fatal("expected empty snapshot on uninstrumented dataset")
 	}
 }

@@ -25,29 +25,41 @@ import (
 // algorithm. An empty input returns an empty (non-nil) slice.
 func FFT(x []complex128) []complex128 {
 	n := len(x)
+	stop := observeFFT(n)
+	var out []complex128
 	switch {
 	case n == 0:
-		return []complex128{}
+		out = []complex128{}
 	case n == 1:
-		return []complex128{x[0]}
+		out = []complex128{x[0]}
 	case isPow2(n):
-		out := make([]complex128, n)
+		out = make([]complex128, n)
 		copy(out, x)
 		fftRadix2InPlace(out, false)
-		return out
 	default:
-		return bluestein(x, false)
+		out = bluestein(x, false)
 	}
+	if stop != nil {
+		stop()
+	}
+	return out
 }
 
 // IFFT returns the inverse discrete Fourier transform of X, normalized by
 // 1/n so that IFFT(FFT(x)) == x up to floating-point error.
 func IFFT(x []complex128) []complex128 {
 	n := len(x)
+	stop := observeFFT(n)
 	switch {
 	case n == 0:
+		if stop != nil {
+			stop()
+		}
 		return []complex128{}
 	case n == 1:
+		if stop != nil {
+			stop()
+		}
 		return []complex128{x[0]}
 	}
 	var out []complex128
@@ -61,6 +73,9 @@ func IFFT(x []complex128) []complex128 {
 	inv := complex(1/float64(n), 0)
 	for i := range out {
 		out[i] *= inv
+	}
+	if stop != nil {
+		stop()
 	}
 	return out
 }

@@ -1,0 +1,48 @@
+package dsp
+
+import (
+	"sync/atomic"
+
+	"sleepnet/internal/metrics"
+)
+
+// instruments caches the package's metric handles. The transforms are pure
+// functions with no receiver to hang a registry off, so instrumentation is a
+// package-level hook installed with SetMetrics.
+type instruments struct {
+	fftCalls   *metrics.Counter
+	fftSize    *metrics.Histogram
+	fftSeconds *metrics.Histogram
+}
+
+var activeInstruments atomic.Pointer[instruments]
+
+// SetMetrics installs (or, with nil, removes) the registry receiving FFT
+// instrumentation: dsp.fft_calls, a size histogram bucketed at powers of
+// two, and a timing histogram. The hook is safe for concurrent use with
+// running transforms; callers that install a registry for one experiment
+// should `defer dsp.SetMetrics(nil)` to avoid leaking it into the next.
+func SetMetrics(r *metrics.Registry) {
+	if r == nil {
+		activeInstruments.Store(nil)
+		return
+	}
+	activeInstruments.Store(&instruments{
+		fftCalls:   r.Counter("dsp.fft_calls"),
+		fftSize:    r.Histogram("dsp.fft_size", "points", metrics.ExpBuckets(16, 2, 12)),
+		fftSeconds: r.Histogram("dsp.fft_seconds", metrics.UnitSeconds, metrics.ExpBuckets(1e-7, 10, 8)),
+	})
+}
+
+// observeFFT records one transform of n points and returns a stopwatch for
+// its duration. With no registry installed it reads no clock and allocates
+// nothing beyond the closure already inlined by the caller.
+func observeFFT(n int) func() {
+	ins := activeInstruments.Load()
+	if ins == nil {
+		return nil
+	}
+	ins.fftCalls.Inc()
+	ins.fftSize.Observe(float64(n))
+	return ins.fftSeconds.Time()
+}

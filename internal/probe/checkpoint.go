@@ -115,6 +115,7 @@ func (s *Supervisor) save(prober *trinocular.Prober, results map[netsim.BlockID]
 	}
 	sort.Slice(ck.Blocks, func(i, j int) bool { return ck.Blocks[i].ID < ck.Blocks[j].ID })
 
+	stop := s.pm.checkpointSeconds.Time()
 	data, err := json.Marshal(&ck)
 	if err != nil {
 		return fmt.Errorf("probe: checkpoint: %w", err)
@@ -126,6 +127,9 @@ func (s *Supervisor) save(prober *trinocular.Prober, results map[netsim.BlockID]
 	if err := os.Rename(tmp, s.CheckpointPath); err != nil {
 		return fmt.Errorf("probe: checkpoint: %w", err)
 	}
+	stop()
+	s.pm.checkpoints.Inc()
+	s.pm.checkpointBytes.Observe(float64(len(data)))
 	return nil
 }
 

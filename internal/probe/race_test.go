@@ -1,0 +1,121 @@
+package probe
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"sleepnet/internal/metrics"
+	"sleepnet/internal/netsim"
+)
+
+// TestSupervisorMetricsRaceStress drives two supervised campaigns
+// concurrently over one shared registry — many workers each, one campaign
+// with an injected vantage fault so the breaker path is exercised — while
+// other goroutines continuously snapshot the registry. Run under -race this
+// pins the concurrency safety of the whole instrumented probe path.
+func TestSupervisorMetricsRaceStress(t *testing.T) {
+	reg := metrics.New()
+
+	runCampaign := func(seed uint64, faulty bool) (map[netsim.BlockID]*BlockResult, error) {
+		net, ids := campaignNet(10)
+		if faulty {
+			net.SetTap(failTap{block: ids[1], until: t0.Add(1000 * time.Hour)})
+		}
+		s := &Supervisor{
+			Campaign: Campaign{Net: net, Start: t0, Workers: 8, Seed: seed},
+			Metrics:  reg,
+		}
+		return s.Run(ids, 80)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := runCampaign(uint64(i+3), i == 1); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+
+	// Concurrent readers: snapshots must be consistent mid-flight.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					snap := reg.Snapshot()
+					if snap.Counter("trinocular.probes_sent") < 0 {
+						panic("negative counter")
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	snap := reg.Snapshot()
+	// Quarantined rounds never reach the prober, so probed plus quarantined
+	// must account for every block-round of both campaigns exactly.
+	probed := snap.Counter("trinocular.rounds")
+	quarantined := snap.Counter("supervisor.rounds_quarantined")
+	if probed+quarantined != 2*10*80 {
+		t.Fatalf("rounds %d + quarantined %d = %d, want %d",
+			probed, quarantined, probed+quarantined, 2*10*80)
+	}
+	if snap.Counter("trinocular.probes_sent") == 0 {
+		t.Fatal("no probes counted")
+	}
+	if snap.Counter("supervisor.breaker_opened") == 0 {
+		t.Fatal("faulty campaign never opened the breaker")
+	}
+	if snap.Counter("supervisor.rounds_quarantined") == 0 {
+		t.Fatal("faulty campaign never quarantined a round")
+	}
+}
+
+// TestSupervisorMetricsDeterministicAcrossRuns runs the same seeded campaign
+// twice with separate registries and requires the deterministic snapshots
+// (timing histograms stripped) to serialize byte-identically — the
+// acceptance bar for reproducible run-cost accounting.
+func TestSupervisorMetricsDeterministicAcrossRuns(t *testing.T) {
+	run := func() []byte {
+		reg := metrics.New()
+		net, ids := campaignNet(8)
+		net.SetTap(failTap{block: ids[2], until: t0.Add(15 * 660 * time.Second)})
+		s := &Supervisor{
+			Campaign: Campaign{Net: net, Start: t0, Workers: 5, Seed: 17},
+			Metrics:  reg,
+		}
+		if _, err := s.Run(ids, 90); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := reg.Snapshot().Deterministic().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("metrics snapshots differ across same-seed runs:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sleepnet/internal/core"
+	"sleepnet/internal/metrics"
 	"sleepnet/internal/netsim"
 	"sleepnet/internal/trinocular"
 )
@@ -35,6 +36,11 @@ type Supervisor struct {
 	// after the last checkpoint; probing is deterministic in virtual time,
 	// so the replay reproduces them exactly.
 	Resume bool
+	// Metrics, when non-nil, receives supervisor counters (breaker state
+	// transitions, recovered panics, quarantined and budget-skipped rounds)
+	// and the checkpoint write-latency histogram; it is also forwarded to
+	// the prober unless the prober carries its own registry.
+	Metrics *metrics.Registry
 
 	// stopAfterRound, when positive, makes Run return ErrStopped after
 	// completing that many rounds — the test hook that simulates a killed
@@ -43,6 +49,42 @@ type Supervisor struct {
 	// injectPanic, when set, is called before each block's probe round —
 	// the test hook for the panic-recovery path.
 	injectPanic func(id netsim.BlockID, round int)
+
+	// pm caches the supervisor's instruments for the current Run; all nil
+	// (no-op) when Metrics is nil.
+	pm supervisorMetrics
+}
+
+// supervisorMetrics caches the supervisor's instruments.
+type supervisorMetrics struct {
+	breakerOpened     *metrics.Counter
+	breakerHalfOpen   *metrics.Counter
+	breakerClosed     *metrics.Counter
+	panicsRecovered   *metrics.Counter
+	roundsQuarantined *metrics.Counter
+	roundsBudgetSkip  *metrics.Counter
+	roundsFailed      *metrics.Counter
+	checkpoints       *metrics.Counter
+	checkpointSeconds *metrics.Histogram
+	checkpointBytes   *metrics.Histogram
+}
+
+func newSupervisorMetrics(r *metrics.Registry) supervisorMetrics {
+	if r == nil {
+		return supervisorMetrics{}
+	}
+	return supervisorMetrics{
+		breakerOpened:     r.Counter("supervisor.breaker_opened"),
+		breakerHalfOpen:   r.Counter("supervisor.breaker_half_open"),
+		breakerClosed:     r.Counter("supervisor.breaker_closed"),
+		panicsRecovered:   r.Counter("supervisor.panics_recovered"),
+		roundsQuarantined: r.Counter("supervisor.rounds_quarantined"),
+		roundsBudgetSkip:  r.Counter("supervisor.rounds_budget_skipped"),
+		roundsFailed:      r.Counter("supervisor.rounds_failed"),
+		checkpoints:       r.Counter("supervisor.checkpoints_written"),
+		checkpointSeconds: r.Histogram("supervisor.checkpoint_write_seconds", metrics.UnitSeconds, metrics.ExpBuckets(1e-5, 10, 8)),
+		checkpointBytes:   r.Histogram("supervisor.checkpoint_bytes", "bytes", metrics.ExpBuckets(1024, 4, 10)),
+	}
 }
 
 // ErrStopped is returned by Supervisor.Run when the stop-after-round test
@@ -195,7 +237,12 @@ func (s *Supervisor) Run(ids []netsim.BlockID, rounds int) (map[netsim.BlockID]*
 		every = 10
 	}
 
-	prober := trinocular.New(s.Net, s.Prober, s.Seed)
+	s.pm = newSupervisorMetrics(s.Metrics)
+	proberCfg := s.Prober
+	if proberCfg.Metrics == nil {
+		proberCfg.Metrics = s.Metrics
+	}
+	prober := trinocular.New(s.Net, proberCfg, s.Seed)
 	results := make(map[netsim.BlockID]*BlockResult)
 	breakers := make(map[netsim.BlockID]*breaker)
 	var tracked []netsim.BlockID
@@ -241,13 +288,20 @@ func (s *Supervisor) Run(ids []netsim.BlockID, rounds int) (map[netsim.BlockID]*
 				for id := range ch {
 					res := results[id]
 					br := breakers[id]
-					if !br.allow() {
+					prevState := br.state
+					allowed := br.allow()
+					if br.state == breakerHalfOpen && prevState == breakerOpen {
+						s.pm.breakerHalfOpen.Inc()
+					}
+					if !allowed {
 						res.Quarantined++
+						s.pm.roundsQuarantined.Inc()
 						res.Short = append(res.Short, lastOr(res.Short, initialA))
 						continue
 					}
 					if s.Budget != nil && !s.Budget.Allow(now, budgetTokens) {
 						res.Skipped++
+						s.pm.roundsBudgetSkip.Inc()
 						res.Short = append(res.Short, lastOr(res.Short, initialA))
 						continue
 					}
@@ -262,8 +316,18 @@ func (s *Supervisor) Run(ids []netsim.BlockID, rounds int) (map[netsim.BlockID]*
 					res.Retries += obs.Retries
 					res.SendErrors += obs.SendErrors
 					res.RateLimited += obs.RateLimited
+					prevState = br.state
 					br.record(failed)
+					if br.state != prevState {
+						switch br.state {
+						case breakerOpen:
+							s.pm.breakerOpened.Inc()
+						case breakerClosed:
+							s.pm.breakerClosed.Inc()
+						}
+					}
 					if failed {
+						s.pm.roundsFailed.Inc()
 						// No usable observation: record the gap, hold the
 						// previous estimate, and let downstream gap-filling
 						// treat the round as a missing sample.
@@ -311,6 +375,7 @@ func (s *Supervisor) probeOne(prober *trinocular.Prober, id netsim.BlockID, roun
 	defer func() {
 		if p := recover(); p != nil {
 			res.Panics++
+			s.pm.panicsRecovered.Inc()
 			obs, failed, err = trinocular.RoundObs{}, true, nil
 		}
 	}()

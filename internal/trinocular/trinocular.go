@@ -25,6 +25,7 @@ import (
 
 	"sleepnet/internal/icmp"
 	"sleepnet/internal/ipv4"
+	"sleepnet/internal/metrics"
 	"sleepnet/internal/netsim"
 	"sleepnet/internal/prf"
 )
@@ -78,6 +79,10 @@ type Config struct {
 	// 11-minute slot. Silence is never retried — a timeout is evidence about
 	// the target, a send error is not.
 	Retry RetryConfig
+	// Metrics, when non-nil, receives the prober's operational counters
+	// (probes sent, positives, retries, rate-limited and cut-short rounds,
+	// backoff). Nil keeps the probing path uninstrumented and overhead-free.
+	Metrics *metrics.Registry
 }
 
 // RetryConfig tunes per-probe retry of transient (vantage-local) failures.
@@ -226,6 +231,43 @@ type Prober struct {
 	states    map[netsim.BlockID]*blockState
 
 	probesSent atomic.Int64
+	m          proberMetrics
+}
+
+// proberMetrics caches the prober's instruments. All fields are nil when no
+// registry is configured; counter methods are no-ops on nil receivers, so
+// the probing path carries only a nil-check per event.
+type proberMetrics struct {
+	probes            *metrics.Counter
+	positives         *metrics.Counter
+	unreachables      *metrics.Counter
+	retries           *metrics.Counter
+	sendErrors        *metrics.Counter
+	rounds            *metrics.Counter
+	roundsCold        *metrics.Counter
+	roundsRateLimited *metrics.Counter
+	roundsCutShort    *metrics.Counter
+	roundsFailed      *metrics.Counter
+	backoffNanos      *metrics.Counter
+}
+
+func newProberMetrics(r *metrics.Registry) proberMetrics {
+	if r == nil {
+		return proberMetrics{}
+	}
+	return proberMetrics{
+		probes:            r.Counter("trinocular.probes_sent"),
+		positives:         r.Counter("trinocular.positives"),
+		unreachables:      r.Counter("trinocular.unreachables"),
+		retries:           r.Counter("trinocular.retries"),
+		sendErrors:        r.Counter("trinocular.send_errors"),
+		rounds:            r.Counter("trinocular.rounds"),
+		roundsCold:        r.Counter("trinocular.rounds_cold"),
+		roundsRateLimited: r.Counter("trinocular.rounds_rate_limited"),
+		roundsCutShort:    r.Counter("trinocular.rounds_cut_short"),
+		roundsFailed:      r.Counter("trinocular.rounds_failed"),
+		backoffNanos:      r.Counter("trinocular.backoff_ns"),
+	}
 }
 
 // ProbesSent reports how many probes the prober has emitted.
@@ -238,6 +280,7 @@ func New(net ProbeNetwork, cfg Config, seed uint64) *Prober {
 		net:    net,
 		seed:   seed,
 		states: make(map[netsim.BlockID]*blockState),
+		m:      newProberMetrics(cfg.Metrics),
 	}
 }
 
@@ -416,6 +459,26 @@ probing:
 	obs.Changed = newUp != st.up
 	st.up = newUp
 	obs.Up = newUp
+
+	p.m.rounds.Inc()
+	p.m.positives.Add(int64(obs.Positive))
+	p.m.unreachables.Add(int64(obs.Unreachable))
+	p.m.retries.Add(int64(obs.Retries))
+	p.m.sendErrors.Add(int64(obs.SendErrors))
+	p.m.backoffNanos.Add(int64(backoffUsed))
+	if obs.Cold {
+		p.m.roundsCold.Inc()
+	}
+	if obs.RateLimited > 0 {
+		p.m.roundsRateLimited.Inc()
+	}
+	if obs.SendErrors > 0 {
+		// The round stopped early because the vantage point was down.
+		p.m.roundsCutShort.Inc()
+	}
+	if obs.Failed() {
+		p.m.roundsFailed.Inc()
+	}
 	return obs, nil
 }
 
@@ -461,6 +524,7 @@ func (p *Prober) sendProbe(st *blockState, host byte, now time.Time) probeOutcom
 		return outcomeNegative
 	}
 	p.probesSent.Add(1)
+	p.m.probes.Inc()
 	resp := p.net.DeliverIP(pkt, now)
 	if resp.SendFailed {
 		return outcomeSendError
