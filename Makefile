@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check fuzz bench
+.PHONY: all build vet test race lint check fuzz fuzz-rdns bench
 
 all: check
 
@@ -15,16 +15,27 @@ vet:
 test:
 	$(GO) test ./...
 
+# The analysis suite takes ~10x longer under the race detector, so the
+# per-package timeout is raised above go test's 10m default.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
-# check is the CI gate: vet, build, and the full test suite under the race
-# detector.
-check: vet build race
+# lint runs the repo's own static analyzer (cmd/sleeplint) over the whole
+# module; it exits nonzero on any finding.
+lint:
+	$(GO) run ./cmd/sleeplint ./...
+
+# check is the CI gate: vet, build, sleeplint, and the full test suite under
+# the race detector.
+check: vet build lint race
 
 # fuzz runs the icmp parser fuzzer for a short budget.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=30s ./internal/icmp
+
+# fuzz-rdns runs the rDNS keyword-classifier fuzzer for a short budget.
+fuzz-rdns:
+	$(GO) test -run=^$$ -fuzz=FuzzClassify -fuzztime=30s ./internal/rdns
 
 # bench runs the top-level paper benchmarks once each and persists the
 # parsed measurements (ns/op, B/op, allocs/op per benchmark) as

@@ -63,6 +63,7 @@ func (c *ctx) World() *world.World {
 func (c *ctx) Study() *analysis.Study {
 	if c.study == nil {
 		w := c.World()
+		//lint:allow nowallclock: CLI-only elapsed display on a "#" comment line; never parsed or persisted
 		start := time.Now()
 		st, err := analysis.MeasureWorld(w, analysis.StudyConfig{
 			Days:            *flagDays,
@@ -76,6 +77,7 @@ func (c *ctx) Study() *analysis.Study {
 		c.study = st
 		strict, either := st.DiurnalFraction()
 		fmt.Printf("# study: %d blocks measured in %v; %s strict, %s either diurnal; %.1f probes/block/hour\n",
+			//lint:allow nowallclock: CLI-only elapsed display on a "#" comment line; never parsed or persisted
 			len(st.Measured()), time.Since(start).Round(time.Millisecond),
 			report.Pct(strict), report.Pct(either), st.ProbeBudget())
 	}

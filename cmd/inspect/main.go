@@ -104,6 +104,7 @@ func breakdown(ds *dataset.Dataset, key func(dataset.BlockRecord) string) {
 	sort.Slice(keys, func(i, j int) bool {
 		fi := float64(m[keys[i]].strict) / float64(m[keys[i]].n)
 		fj := float64(m[keys[j]].strict) / float64(m[keys[j]].n)
+		//lint:allow floateq: exact tie-break inside a comparator; epsilon equality would break strict weak ordering
 		if fi != fj {
 			return fi > fj
 		}

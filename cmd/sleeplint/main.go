@@ -1,0 +1,85 @@
+// Command sleeplint runs sleepnet's static-analysis suite: stdlib-only
+// rules that keep the pipeline reproducible (seeded randomness, no
+// wall-clock reads in output paths, deterministic map emission, epsilon
+// float comparison, handled errors). Any finding exits nonzero, so CI can
+// use it as a hard gate:
+//
+//	sleeplint [-rules norand,floateq,...] [-json] [packages]
+//
+// Packages follow the go tool shape ("./...", "./internal/world"); the
+// default is "./...". Findings print as file:line:col [rule] message with
+// a suggested fix. Suppress a single finding with a justified directive:
+//
+//	//lint:allow <rule>: <why the invariant holds here>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sleepnet/internal/lint"
+)
+
+func main() {
+	rulesSpec := flag.String("rules", "", "comma-separated rule subset (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as JSON")
+	list := flag.Bool("list", false, "list registered rules and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range lint.Rules() {
+			fmt.Printf("%-12s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+
+	rules, err := lint.Select(*rulesSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sleeplint:", err)
+		os.Exit(2)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sleeplint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadModule(cwd, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sleeplint:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, rules)
+	relativize(findings, cwd)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "sleeplint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if n := len(findings); n > 0 {
+			fmt.Fprintf(os.Stderr, "sleeplint: %d finding(s)\n", n)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// relativize rewrites finding paths relative to the working directory for
+// readable, clickable output.
+func relativize(findings []lint.Finding, cwd string) {
+	for i := range findings {
+		if rel, err := filepath.Rel(cwd, findings[i].File); err == nil && !filepath.IsAbs(rel) {
+			findings[i].File = rel
+		}
+	}
+}

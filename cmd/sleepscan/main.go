@@ -88,9 +88,11 @@ func main() {
 		dsp.SetMetrics(reg)
 		defer dsp.SetMetrics(nil)
 	}
+	//lint:allow nowallclock: CLI-only elapsed display; never written into datasets or reports
 	t0 := time.Now()
 	st, err := analysis.MeasureWorld(w, cfg)
 	fatal(err)
+	//lint:allow nowallclock: CLI-only elapsed display; never written into datasets or reports
 	elapsed := time.Since(t0)
 
 	strict, either := st.DiurnalFraction()

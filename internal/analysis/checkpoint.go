@@ -63,7 +63,7 @@ func (c *checkpointWriter) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.w.Flush(); err != nil {
-		c.f.Close()
+		_ = c.f.Close() // best effort: the flush error is the one to surface
 		return err
 	}
 	return c.f.Close()
@@ -114,17 +114,17 @@ func openCheckpoint(path string, w *world.World, sc StudyConfig, study *Study) (
 	bw := bufio.NewWriter(f)
 	enc := json.NewEncoder(bw)
 	if err := enc.Encode(&header); err != nil {
-		f.Close()
+		_ = f.Close() // best effort on the error path; the temp file is abandoned
 		return nil, nil, fmt.Errorf("analysis: checkpoint: %w", err)
 	}
 	for i := range recovered {
 		if err := enc.Encode(&recovered[i]); err != nil {
-			f.Close()
+			_ = f.Close() // best effort on the error path; the temp file is abandoned
 			return nil, nil, fmt.Errorf("analysis: checkpoint: %w", err)
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		_ = f.Close() // best effort on the error path; the temp file is abandoned
 		return nil, nil, fmt.Errorf("analysis: checkpoint: %w", err)
 	}
 	if err := f.Close(); err != nil {

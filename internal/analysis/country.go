@@ -57,6 +57,7 @@ func (s *Study) CountryTable(minBlocks int) []CountryRow {
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool {
+		//lint:allow floateq: exact tie-break inside a comparator; epsilon equality would break strict weak ordering
 		if rows[i].FracDiurnal != rows[j].FracDiurnal {
 			return rows[i].FracDiurnal > rows[j].FracDiurnal
 		}

@@ -61,6 +61,7 @@ func (s *Study) OutageTable(minBlocks int, excludeDiurnal bool) []OutageRow {
 		rows = append(rows, row)
 	}
 	sort.Slice(rows, func(i, j int) bool {
+		//lint:allow floateq: exact tie-break inside a comparator; epsilon equality would break strict weak ordering
 		if rows[i].EpisodesPerBlockWeek != rows[j].EpisodesPerBlockWeek {
 			return rows[i].EpisodesPerBlockWeek > rows[j].EpisodesPerBlockWeek
 		}

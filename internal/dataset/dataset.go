@@ -158,12 +158,12 @@ func (d *Dataset) Save(path string) error {
 		return fmt.Errorf("dataset: %w", err)
 	}
 	if err := d.Write(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()      // best effort: the write error is the one to surface
+		_ = os.Remove(tmp) // temp file is already orphaned
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp) // temp file is already orphaned
 		return fmt.Errorf("dataset: %w", err)
 	}
 	return os.Rename(tmp, path)

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"strings"
+)
+
+// NoRand forbids the process-seeded global math/rand functions (rand.Intn,
+// rand.Float64, rand.Seed, ...) in non-test code under internal/. Global
+// rand draws from a shared, launch-time-seeded stream, so two runs of the
+// same seed diverge — the exact nondeterminism the golden same-seed test
+// exists to prevent. Explicitly seeded generators (rand.New(rand.NewSource)
+// and methods on *rand.Rand) and the canonical prf package are allowed.
+type NoRand struct{}
+
+func (NoRand) Name() string { return "norand" }
+func (NoRand) Doc() string {
+	return "forbid global math/rand functions in non-test internal/ code; use prf.* or a seeded rand.New"
+}
+
+// norandAllowed lists the math/rand package-level names that do not draw
+// from the global stream: constructors and types.
+var norandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func (NoRand) Check(p *Pass) {
+	for id, obj := range p.Info.Uses {
+		if obj == nil || obj.Pkg() == nil {
+			continue
+		}
+		pkgPath := obj.Pkg().Path()
+		if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+			continue
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Type().(*types.Signature).Recv() != nil {
+			continue // types, vars, and *rand.Rand methods are fine
+		}
+		if norandAllowed[fn.Name()] {
+			continue
+		}
+		file := p.Fset.Position(id.Pos()).Filename
+		if strings.HasSuffix(file, "_test.go") || !underInternal(file) {
+			continue
+		}
+		p.Report(id, "norand",
+			fmt.Sprintf("global math/rand.%s draws from the process-seeded stream and breaks same-seed reproducibility", fn.Name()),
+			fmt.Sprintf("use prf.Hash/prf.Float keyed by the run seed, or r := rand.New(rand.NewSource(seed)); r.%s(...)", fn.Name()))
+	}
+}
+
+// underInternal reports whether the file path sits below an internal/
+// directory.
+func underInternal(path string) bool {
+	path = strings.ReplaceAll(path, "\\", "/")
+	return strings.Contains(path, "/internal/") || strings.HasPrefix(path, "internal/")
+}

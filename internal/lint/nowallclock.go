@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// NoWallClock forbids reading the wall clock (time.Now, time.Since,
+// time.Until) outside the metrics timing layer and _test.go files. The
+// pipeline is simulation-clocked: every timestamp derives from the virtual
+// epoch, so a wall-clock read in an output path makes two same-seed runs
+// differ — The Internet Pendulum's lesson that measurement pipelines inject
+// their own periodic artifacts applies doubly when the artifact is the
+// host's clock. Timing belongs in internal/metrics (whose histograms the
+// registry's Deterministic() snapshot strips); anything else needs a
+// justified //lint:allow nowallclock.
+type NoWallClock struct{}
+
+func (NoWallClock) Name() string { return "nowallclock" }
+func (NoWallClock) Doc() string {
+	return "forbid time.Now/time.Since/time.Until outside internal/metrics and tests"
+}
+
+// wallClockFuncs are the time package functions that read the host clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// nowallclockExempt is the one package allowed to read the clock: the
+// timing layer, whose Deterministic() snapshot strips host-dependent
+// histograms before any reproducible output.
+const nowallclockExempt = "sleepnet/internal/metrics"
+
+func (NoWallClock) Check(p *Pass) {
+	if p.PkgPath == nowallclockExempt {
+		return
+	}
+	for id, obj := range p.Info.Uses {
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+			continue
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok || !wallClockFuncs[fn.Name()] {
+			continue
+		}
+		if p.IsTestFile(id) {
+			continue
+		}
+		p.Report(id, "nowallclock",
+			fmt.Sprintf("time.%s reads the host clock; same-seed runs will differ", fn.Name()),
+			"derive timestamps from the simulation epoch, route timing through internal/metrics, or add //lint:allow nowallclock: <why>")
+	}
+}

@@ -1,0 +1,30 @@
+// Package allowfix exercises the //lint:allow escape hatch: a justified
+// directive suppresses its finding; an unjustified or unknown-rule
+// directive is itself a finding and suppresses nothing.
+package allowfix
+
+import "time"
+
+// Suppressed carries a proper justification — no finding.
+func Suppressed() time.Time {
+	//lint:allow nowallclock: fixture demonstrating a justified suppression of a clock read
+	return time.Now()
+}
+
+// SuppressedTrailing uses the trailing-comment form — no finding.
+func SuppressedTrailing() time.Time {
+	return time.Now() //lint:allow nowallclock: trailing-form justification for this clock read
+}
+
+// Unjustified has no explanation: the directive is flagged AND the clock
+// read still reports.
+func Unjustified() time.Time {
+	//lint:allow nowallclock // want allowdirective
+	return time.Now() // want nowallclock
+}
+
+// UnknownRule names a rule that does not exist.
+func UnknownRule() time.Time {
+	//lint:allow nosuchrule: the rule name here is wrong so this suppresses nothing // want allowdirective
+	return time.Now() // want nowallclock
+}

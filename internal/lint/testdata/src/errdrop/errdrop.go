@@ -1,0 +1,48 @@
+// Package errdrop is a deliberately-broken fixture: every line marked
+// `want errdrop` must trigger exactly the errdrop rule.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func work() error            { return nil }
+func workBoth() (int, error) { return 0, nil }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+// Dropped errors — violations.
+func Dropped(w io.Writer, path string) {
+	work()                     // want errdrop
+	workBoth()                 // want errdrop
+	os.Remove(path)            // want errdrop
+	fmt.Fprintf(w, "unsafe\n") // want errdrop
+	closer{}.Close()           // want errdrop
+}
+
+// Handled or always-nil — legal.
+func Handled(path string) error {
+	if err := work(); err != nil {
+		return err
+	}
+	_ = work() // explicit discard is visible in review
+	var buf bytes.Buffer
+	var sb strings.Builder
+	buf.WriteString("in-memory writes cannot fail")
+	sb.WriteString("same")
+	fmt.Fprintf(&buf, "fmt to a buffer is fine\n")
+	fmt.Fprintln(os.Stderr, "stderr is conventional")
+	fmt.Println("stdout is conventional")
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // defer close is idiomatic; not a statement drop
+	return nil
+}

@@ -1,0 +1,39 @@
+// Package floateq is a deliberately-broken fixture: every line marked
+// `want floateq` must trigger exactly the floateq rule.
+package floateq
+
+import "math"
+
+// Fragile compares computed floats exactly.
+func Fragile(a, b []float64) bool {
+	sa, sb := 0.0, 0.0
+	for _, v := range a {
+		sa += v
+	}
+	for _, v := range b {
+		sb += v
+	}
+	if sa == sb { // want floateq
+		return true
+	}
+	return math.Sqrt(sa) != math.Sqrt(sb) // want floateq
+}
+
+// Narrow also applies to float32.
+func Narrow(x, y float32) bool {
+	return x == y // want floateq
+}
+
+// Legal shapes: constant sentinels, the NaN idiom, integer equality.
+func Legal(v float64, n, m int) bool {
+	if v == 0 { // constant operand: exact by construction
+		return true
+	}
+	if v != v { // NaN idiom
+		return false
+	}
+	if v == math.Pi { // constant operand
+		return true
+	}
+	return n == m
+}

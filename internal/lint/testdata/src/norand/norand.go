@@ -1,0 +1,23 @@
+// Package norand is a deliberately-broken fixture: every line marked
+// `want norand` must trigger exactly the norand rule and nothing else.
+package norand
+
+import "math/rand"
+
+// GlobalDraws uses the process-seeded global stream — each is a violation.
+func GlobalDraws() int {
+	rand.Seed(42)                      // want norand
+	n := rand.Intn(10)                 // want norand
+	f := rand.Float64()                // want norand
+	rand.Shuffle(3, func(i, j int) {}) // want norand
+	return n + int(f)
+}
+
+// SeededDraws uses an explicitly seeded generator — all legal.
+func SeededDraws(seed uint64) int {
+	r := rand.New(rand.NewSource(int64(seed)))
+	n := r.Intn(10)
+	_ = r.Float64()
+	_ = r.NormFloat64()
+	return n
+}

@@ -1,0 +1,25 @@
+// Package nowallclock is a deliberately-broken fixture: every line marked
+// `want nowallclock` must trigger exactly the nowallclock rule.
+package nowallclock
+
+import "time"
+
+// Epoch is the simulation epoch — deriving from it is the legal pattern.
+var Epoch = time.Date(2013, time.April, 1, 0, 0, 0, 0, time.UTC)
+
+// Stamp reads the host clock in an output path.
+func Stamp() time.Time {
+	return time.Now() // want nowallclock
+}
+
+// Elapsed reads the host clock twice over.
+func Elapsed(start time.Time) time.Duration {
+	d := time.Since(start) // want nowallclock
+	_ = time.Until(start)  // want nowallclock
+	return d
+}
+
+// Virtual derives timestamps from the epoch — legal.
+func Virtual(round int) time.Time {
+	return Epoch.Add(time.Duration(round) * 11 * time.Minute)
+}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -115,7 +116,8 @@ func (n *Network) NumBlocks() int {
 	return len(n.blocks)
 }
 
-// BlockIDs returns all registered block ids (unordered).
+// BlockIDs returns all registered block ids in ascending order, so callers
+// iterating the network never inherit map order.
 func (n *Network) BlockIDs() []BlockID {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
@@ -123,6 +125,7 @@ func (n *Network) BlockIDs() []BlockID {
 	for id := range n.blocks {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -1,0 +1,95 @@
+package rdns
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzClassify throws arbitrary reverse names at the keyword classifier and
+// checks its invariants, mirroring the icmp FuzzParse pattern: no panics,
+// deterministic output, features drawn only from the kept keywords in
+// canonical order, the 1/15th suppression rule honored, and the
+// synthesizer's Domain never injecting features through the zone name. Run
+// with `go test -fuzz=FuzzClassify ./internal/rdns`.
+func FuzzClassify(f *testing.F) {
+	f.Add("dhcp-dialup-001.example.com", "host-001.example.net")
+	f.Add("STA-007.big-isp.org", "")
+	f.Add("dyn.dyn.dyn", "cable-res-9")
+	f.Add("University of Pakistan", "wireless-sql-gw")
+	f.Add(strings.Repeat("dsl", 100), "\x00\xff not a hostname \t")
+
+	kept := make(map[string]bool, len(KeptKeywords))
+	for _, kw := range KeptKeywords {
+		kept[kw] = true
+	}
+	order := make(map[string]int, len(ConsideredKeywords))
+	for i, kw := range ConsideredKeywords {
+		order[kw] = i
+	}
+
+	f.Fuzz(func(t *testing.T, a, b string) {
+		// FeaturesOf: deterministic, canonical order, real substrings.
+		fa := FeaturesOf(a)
+		if again := FeaturesOf(a); len(again) != len(fa) {
+			t.Fatalf("FeaturesOf(%q) not deterministic: %v vs %v", a, fa, again)
+		}
+		low := strings.ToLower(a)
+		for i, kw := range fa {
+			if _, known := order[kw]; !known {
+				t.Fatalf("FeaturesOf(%q) produced unknown keyword %q", a, kw)
+			}
+			if !strings.Contains(low, kw) {
+				t.Fatalf("FeaturesOf(%q) claims %q which is not a substring", a, kw)
+			}
+			if i > 0 && order[fa[i-1]] >= order[kw] {
+				t.Fatalf("FeaturesOf(%q) out of canonical order: %v", a, fa)
+			}
+		}
+
+		// ClassifyBlock: structural invariants over a mixed block.
+		names := []string{a, b, "", a + "." + b, strings.ToUpper(a)}
+		cls := ClassifyBlock(names)
+		wantNamed := 0
+		for _, n := range names {
+			if n != "" {
+				wantNamed++
+			}
+		}
+		if cls.Named != wantNamed {
+			t.Fatalf("Named = %d, want %d", cls.Named, wantNamed)
+		}
+		max := 0
+		for _, c := range cls.Counts {
+			if c > max {
+				max = c
+			}
+		}
+		prev := -1
+		for _, feat := range cls.Features {
+			if !kept[feat] {
+				t.Fatalf("Features contains non-kept keyword %q (%v)", feat, cls.Features)
+			}
+			if DiscardedKeywords[feat] {
+				t.Fatalf("Features contains discarded keyword %q", feat)
+			}
+			c := cls.Counts[feat]
+			if c == 0 {
+				t.Fatalf("feature %q has zero count", feat)
+			}
+			if c*suppressionRatio < max {
+				t.Fatalf("feature %q (count %d) survived below the 1/%d suppression floor (max %d)",
+					feat, c, suppressionRatio, max)
+			}
+			if o := order[feat]; o <= prev {
+				t.Fatalf("Features out of canonical order: %v", cls.Features)
+			} else {
+				prev = o
+			}
+		}
+
+		// Domain must never inject classification features via the zone.
+		if got := FeaturesOf(Domain(a)); len(got) != 0 {
+			t.Fatalf("Domain(%q) = %q injects features %v", a, Domain(a), got)
+		}
+	})
+}

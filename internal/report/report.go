@@ -98,6 +98,7 @@ func Series(values []float64, width, height int) string {
 			max = v
 		}
 	}
+	//lint:allow floateq: flat-data guard; only exact equality collapses the y-range to zero width
 	if max == min {
 		max = min + 1
 	}

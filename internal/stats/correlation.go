@@ -62,6 +62,7 @@ func Ranks(x []float64) []float64 {
 	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
+		//lint:allow floateq: rank ties are defined by exact equality; approximate ties would change every rank statistic
 		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
 			j++
 		}

@@ -1,0 +1,36 @@
+package stats
+
+import "math"
+
+// defaultTol is the mixed absolute/relative tolerance ApproxEqual uses:
+// loose enough to absorb the rounding drift of availability fractions and
+// FFT magnitudes accumulated over a campaign, tight enough that genuinely
+// different statistics never collide.
+const defaultTol = 1e-9
+
+// ApproxEqual reports whether a and b are equal within the default mixed
+// absolute/relative tolerance. It is the comparison the floateq lint rule
+// points at: computed floats (fractions, magnitudes, coefficients) must
+// not be compared with == / !=, which flip near rounding boundaries.
+// NaN equals nothing; equal infinities are equal.
+func ApproxEqual(a, b float64) bool { return ApproxEqualTol(a, b, defaultTol) }
+
+// ApproxEqualTol reports whether |a-b| <= tol*max(1, |a|, |b|): absolute
+// tolerance near zero, relative tolerance for large magnitudes.
+func ApproxEqualTol(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		//lint:allow floateq: infinities carry no rounding error; exact comparison is the definition here
+		return a == b
+	}
+	scale := 1.0
+	if aa := math.Abs(a); aa > scale {
+		scale = aa
+	}
+	if ab := math.Abs(b); ab > scale {
+		scale = ab
+	}
+	return math.Abs(a-b) <= tol*scale
+}

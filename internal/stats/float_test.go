@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		a, b float64
+		want bool
+	}{
+		{"identical", 0.25, 0.25, true},
+		{"rounding drift", 0.1 + 0.2, 0.3, true},
+		{"accumulated sum", sumN(0.1, 10), 1.0, true},
+		{"distinct", 0.25, 0.2500001, false},
+		{"near zero", 1e-12, -1e-12, true},
+		{"large relative", 1e15, 1e15 * (1 + 1e-12), true},
+		{"large distinct", 1e15, 1.0000001e15, false},
+		{"nan left", math.NaN(), 1, false},
+		{"nan both", math.NaN(), math.NaN(), false},
+		{"inf equal", inf, inf, true},
+		{"inf opposite", inf, -inf, false},
+		{"inf vs finite", inf, 1e300, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b); got != c.want {
+			t.Errorf("%s: ApproxEqual(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqualTol(t *testing.T) {
+	if !ApproxEqualTol(1.0, 1.05, 0.1) {
+		t.Error("tol 0.1 should accept 5% gap")
+	}
+	if ApproxEqualTol(1.0, 1.05, 0.01) {
+		t.Error("tol 0.01 should reject 5% gap")
+	}
+	// Symmetry.
+	if ApproxEqualTol(3, 4, 0.2) != ApproxEqualTol(4, 3, 0.2) {
+		t.Error("ApproxEqualTol is not symmetric")
+	}
+}
+
+// sumN adds v to itself n times, accumulating representable error.
+func sumN(v float64, n int) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += v
+	}
+	return s
+}

@@ -35,9 +35,11 @@ func KSTest(a, b []float64) (KSResult, error) {
 		// Advance through ties on both sides before comparing CDFs, so
 		// identical values never create a spurious gap.
 		v := math.Min(x[i], y[j])
+		//lint:allow floateq: KS ties are defined by exact equality on sorted samples; v is copied, not computed
 		for i < n1 && x[i] == v {
 			i++
 		}
+		//lint:allow floateq: KS ties are defined by exact equality on sorted samples; v is copied, not computed
 		for j < n2 && y[j] == v {
 			j++
 		}
