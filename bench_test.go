@@ -25,7 +25,11 @@ import (
 // ---- shared fixtures ----
 
 var (
-	benchOnce  sync.Once
+	benchOnce sync.Once
+	// benchErr records a fixture failure so every benchmark sharing the
+	// fixture reports it through b.Fatal instead of the Once panicking once
+	// and poisoning the rest of the run with nil fixtures.
+	benchErr   error
 	benchWorld *world.World
 	benchStudy *analysis.Study
 	benchGeo   *geo.DB
@@ -36,21 +40,23 @@ var (
 func benchFixture(b *testing.B) (*world.World, *analysis.Study, *geo.DB) {
 	b.Helper()
 	benchOnce.Do(func() {
-		var err error
-		benchWorld, err = world.Generate(world.Config{Blocks: 700, Seed: 99})
-		if err != nil {
-			panic(err)
+		benchWorld, benchErr = world.Generate(world.Config{Blocks: 700, Seed: 99})
+		if benchErr != nil {
+			return
 		}
-		benchStudy, err = analysis.MeasureWorld(benchWorld, analysis.StudyConfig{
+		benchStudy, benchErr = analysis.MeasureWorld(benchWorld, analysis.StudyConfig{
 			Days:            10,
 			Seed:            5,
 			RestartInterval: 5*time.Hour + 30*time.Minute,
 		})
-		if err != nil {
-			panic(err)
+		if benchErr != nil {
+			return
 		}
 		benchGeo = geo.FromWorld(benchWorld, 0.93, 3)
 	})
+	if benchErr != nil {
+		b.Fatalf("bench fixture: %v", benchErr)
+	}
 	return benchWorld, benchStudy, benchGeo
 }
 

@@ -1,11 +1,26 @@
 // Command benchjson converts `go test -bench` output on stdin into a
-// machine-readable JSON map of benchmark name to measured values — the
-// format `make bench` persists as BENCH_seed.json so performance regressions
+// machine-readable JSON document of benchmark name to measured values — the
+// format `make bench` persists as BENCH_*.json so performance regressions
 // can be diffed across commits without reparsing free text.
 //
-// Usage:
+// It has two modes. Collect mode parses benchmark output:
 //
-//	go test -run='^$' -bench=. -benchmem . | benchjson -o BENCH_seed.json
+//	go test -run='^$' -bench=. -benchmem -benchtime=300ms . | \
+//	    benchjson -benchtime 300ms -o BENCH_pr5.json
+//
+// Diff mode compares two collected files and exits nonzero when any shared
+// benchmark regressed beyond the allowed ratio on any metric:
+//
+//	benchjson -diff -threshold 1.10 BENCH_seed.json BENCH_pr5.json
+//
+// Collect mode writes the current schema, an object with a "benchtime"
+// field recording the -benchtime the run used and a "benchmarks" map:
+//
+//	{"benchtime": "300ms", "benchmarks": {"BenchmarkFoo": {...}}}
+//
+// Diff mode reads both that schema and the legacy flat map (benchmark name
+// directly to measurements, no wrapper) that earlier BENCH_seed.json files
+// use, so the seed baseline stays comparable without rewriting it.
 package main
 
 import (
@@ -28,10 +43,51 @@ type result struct {
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
+// benchFile is the collected-output schema: run metadata plus the per-
+// benchmark measurements.
+type benchFile struct {
+	Benchtime  string            `json:"benchtime,omitempty"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
 func main() {
-	out := flag.String("o", "", "write JSON here instead of stdout")
+	out := flag.String("o", "", "write JSON here instead of stdout (collect mode)")
+	benchtime := flag.String("benchtime", "", "record this -benchtime value in the output (collect mode)")
+	diff := flag.Bool("diff", false, "compare two collected files: benchjson -diff old.json new.json")
+	threshold := flag.Float64("threshold", 1.10, "fail when new/old exceeds this ratio on any metric (diff mode)")
+	thresholdNs := flag.Float64("threshold-ns", 0, "override -threshold for ns/op (diff mode; 0 inherits)")
+	thresholdBytes := flag.Float64("threshold-bytes", 0, "override -threshold for B/op (diff mode; 0 inherits)")
+	thresholdAllocs := flag.Float64("threshold-allocs", 0, "override -threshold for allocs/op (diff mode; 0 inherits)")
 	flag.Parse()
 
+	if *diff {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("diff mode needs exactly two files: benchjson -diff old.json new.json"))
+		}
+		inherit := func(v float64) float64 {
+			if v > 0 {
+				return v
+			}
+			return *threshold
+		}
+		regressed, err := runDiff(flag.Arg(0), flag.Arg(1), thresholds{
+			ns:     inherit(*thresholdNs),
+			bytes:  inherit(*thresholdBytes),
+			allocs: inherit(*thresholdAllocs),
+		})
+		fatal(err)
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	collect(*out, *benchtime)
+}
+
+// collect parses `go test -bench` output on stdin and writes the JSON
+// document to out (or stdout when empty).
+func collect(out, benchtime string) {
 	results := map[string]result{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -63,17 +119,17 @@ func main() {
 	for _, n := range names {
 		ordered[n] = results[n]
 	}
-	data, err := json.MarshalIndent(ordered, "", "  ")
+	data, err := json.MarshalIndent(benchFile{Benchtime: benchtime, Benchmarks: ordered}, "", "  ")
 	fatal(err)
 	data = append(data, '\n')
 
-	if *out == "" {
+	if out == "" {
 		_, err = os.Stdout.Write(data)
 		fatal(err)
 		return
 	}
-	fatal(os.WriteFile(*out, data, 0o644))
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+	fatal(os.WriteFile(out, data, 0o644))
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), out)
 }
 
 // parseBenchLine parses one `BenchmarkName-N  iters  v unit  v unit ...`
@@ -115,6 +171,158 @@ func parseBenchLine(line string) (string, result, bool) {
 		return "", result{}, false
 	}
 	return name, res, true
+}
+
+// thresholds carries the per-metric allowed new/old ratios for diff mode.
+type thresholds struct {
+	ns, bytes, allocs float64
+}
+
+// loadBenchFile reads a collected file in either schema: the current
+// wrapper ({"benchtime": ..., "benchmarks": {...}}) or the legacy flat map
+// of benchmark name to measurements.
+func loadBenchFile(path string) (benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchFile{}, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err == nil && len(f.Benchmarks) > 0 {
+		return f, nil
+	}
+	var flat map[string]result
+	if err := json.Unmarshal(data, &flat); err != nil {
+		return benchFile{}, fmt.Errorf("%s: not a benchjson file: %v", path, err)
+	}
+	// A legacy file is a flat name->result map; reject anything whose
+	// entries carry no timing (e.g. an unrelated JSON object).
+	for name, r := range flat {
+		if !strings.HasPrefix(name, "Benchmark") || r.NsPerOp <= 0 {
+			return benchFile{}, fmt.Errorf("%s: entry %q does not look like a benchmark result", path, name)
+		}
+	}
+	if len(flat) == 0 {
+		return benchFile{}, fmt.Errorf("%s: no benchmarks found", path)
+	}
+	return benchFile{Benchmarks: flat}, nil
+}
+
+// metricDelta describes one metric comparison within a benchmark.
+type metricDelta struct {
+	metric    string
+	old, new  float64
+	ratio     float64
+	regressed bool
+}
+
+// sortedKeys returns the benchmark names of m in sorted order, so every
+// diff traversal is deterministic.
+func sortedKeys(m map[string]result) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// diffBenchmarks compares the shared benchmarks of two files and returns
+// the per-benchmark metric deltas (keyed and ordered by benchmark name)
+// plus the names present on only one side.
+func diffBenchmarks(oldF, newF benchFile, th thresholds) (names []string, deltas map[string][]metricDelta, onlyOld, onlyNew []string) {
+	deltas = map[string][]metricDelta{}
+	for _, name := range sortedKeys(oldF.Benchmarks) {
+		o := oldF.Benchmarks[name]
+		n, ok := newF.Benchmarks[name]
+		if !ok {
+			onlyOld = append(onlyOld, name)
+			continue
+		}
+		names = append(names, name)
+		row := []metricDelta{compareMetric("ns/op", o.NsPerOp, n.NsPerOp, th.ns)}
+		if o.BytesPerOp != nil && n.BytesPerOp != nil {
+			row = append(row, compareMetric("B/op", *o.BytesPerOp, *n.BytesPerOp, th.bytes))
+		}
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
+			row = append(row, compareMetric("allocs/op", *o.AllocsPerOp, *n.AllocsPerOp, th.allocs))
+		}
+		deltas[name] = row
+	}
+	for _, name := range sortedKeys(newF.Benchmarks) {
+		if _, ok := oldF.Benchmarks[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	return names, deltas, onlyOld, onlyNew
+}
+
+// compareMetric builds the delta for one metric. A zero baseline cannot
+// express a ratio: old==0 && new==0 is a pass, old==0 && new>0 is flagged
+// as a regression (something that cost nothing now costs something).
+func compareMetric(metric string, old, new, threshold float64) metricDelta {
+	d := metricDelta{metric: metric, old: old, new: new}
+	switch {
+	case old == 0 && new == 0:
+		d.ratio = 1
+	case old == 0:
+		d.ratio = -1 // marker: no finite ratio
+		d.regressed = true
+	default:
+		d.ratio = new / old
+		d.regressed = d.ratio > threshold
+	}
+	return d
+}
+
+// runDiff prints the comparison table to stdout and returns whether any
+// shared benchmark regressed beyond its metric threshold.
+func runDiff(oldPath, newPath string, th thresholds) (bool, error) {
+	oldF, err := loadBenchFile(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newF, err := loadBenchFile(newPath)
+	if err != nil {
+		return false, err
+	}
+	names, deltas, onlyOld, onlyNew := diffBenchmarks(oldF, newF, th)
+	if len(names) == 0 {
+		return false, fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
+	}
+
+	fmt.Printf("benchdiff: %s -> %s (thresholds ns %.2fx, B %.2fx, allocs %.2fx)\n",
+		oldPath, newPath, th.ns, th.bytes, th.allocs)
+	regressions := 0
+	for _, name := range names {
+		for _, d := range deltas[name] {
+			flag := "ok"
+			switch {
+			case d.regressed:
+				flag = "REGRESSION"
+				regressions++
+			case d.ratio < 1:
+				flag = "improved"
+			}
+			ratio := "n/a"
+			if d.ratio >= 0 {
+				ratio = fmt.Sprintf("%+.1f%%", (d.ratio-1)*100)
+			}
+			fmt.Printf("  %-50s %-10s %14.1f -> %14.1f  %8s  %s\n",
+				name, d.metric, d.old, d.new, ratio, flag)
+		}
+	}
+	for _, name := range onlyOld {
+		fmt.Printf("  note: %s only in %s (skipped)\n", name, oldPath)
+	}
+	for _, name := range onlyNew {
+		fmt.Printf("  note: %s only in %s (skipped)\n", name, newPath)
+	}
+	if regressions > 0 {
+		fmt.Printf("benchdiff: %d metric regression(s) across %d shared benchmarks\n", regressions, len(names))
+		return true, nil
+	}
+	fmt.Printf("benchdiff: no regressions across %d shared benchmarks\n", len(names))
+	return false, nil
 }
 
 func fatal(err error) {

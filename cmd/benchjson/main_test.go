@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	name, res, ok := parseBenchLine("BenchmarkFig4CorrelationShortTerm-8   \t       3\t 349129712 ns/op\t 1024 B/op\t      12 allocs/op")
@@ -42,5 +46,95 @@ func TestParseBenchLineRejectsGarbage(t *testing.T) {
 		if _, _, ok := parseBenchLine(line); ok {
 			t.Errorf("line %q accepted", line)
 		}
+	}
+}
+
+func writeTempJSON(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const legacyFile = `{
+  "BenchmarkA": {"iterations": 1, "ns_per_op": 1000, "bytes_per_op": 4096, "allocs_per_op": 100},
+  "BenchmarkOldOnly": {"iterations": 1, "ns_per_op": 5}
+}`
+
+const wrappedFile = `{
+  "benchtime": "300ms",
+  "benchmarks": {
+    "BenchmarkA": {"iterations": 3, "ns_per_op": 500, "bytes_per_op": 1024, "allocs_per_op": 10},
+    "BenchmarkNewOnly": {"iterations": 9, "ns_per_op": 7}
+  }
+}`
+
+func TestLoadBenchFileBothSchemas(t *testing.T) {
+	legacy, err := loadBenchFile(writeTempJSON(t, "legacy.json", legacyFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy.Benchmarks) != 2 || legacy.Benchmarks["BenchmarkA"].NsPerOp != 1000 {
+		t.Fatalf("legacy = %+v", legacy)
+	}
+	wrapped, err := loadBenchFile(writeTempJSON(t, "wrapped.json", wrappedFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped.Benchtime != "300ms" || len(wrapped.Benchmarks) != 2 {
+		t.Fatalf("wrapped = %+v", wrapped)
+	}
+	if _, err := loadBenchFile(writeTempJSON(t, "bogus.json", `{"config": {"ns_per_op": 0}}`)); err == nil {
+		t.Fatal("non-benchmark JSON accepted")
+	}
+}
+
+func TestDiffBenchmarksImprovementPasses(t *testing.T) {
+	oldF, _ := loadBenchFile(writeTempJSON(t, "old.json", legacyFile))
+	newF, _ := loadBenchFile(writeTempJSON(t, "new.json", wrappedFile))
+	th := thresholds{ns: 1.10, bytes: 1.10, allocs: 1.10}
+	names, deltas, onlyOld, onlyNew := diffBenchmarks(oldF, newF, th)
+	if len(names) != 1 || names[0] != "BenchmarkA" {
+		t.Fatalf("shared = %v", names)
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkOldOnly" || len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNewOnly" {
+		t.Fatalf("one-sided = %v / %v", onlyOld, onlyNew)
+	}
+	for _, d := range deltas["BenchmarkA"] {
+		if d.regressed {
+			t.Errorf("improvement flagged as regression: %+v", d)
+		}
+	}
+}
+
+func TestDiffBenchmarksFlagsRegression(t *testing.T) {
+	oldF, _ := loadBenchFile(writeTempJSON(t, "old.json", wrappedFile))
+	newF, _ := loadBenchFile(writeTempJSON(t, "new.json", legacyFile))
+	th := thresholds{ns: 1.10, bytes: 1.10, allocs: 1.10}
+	_, deltas, _, _ := diffBenchmarks(oldF, newF, th)
+	for _, d := range deltas["BenchmarkA"] {
+		if !d.regressed {
+			t.Errorf("2x-10x slowdown not flagged: %+v", d)
+		}
+	}
+	// A generous threshold lets a 2x ns slowdown pass but still catches 4x B/op.
+	loose := thresholds{ns: 2.5, bytes: 2.5, allocs: 2.5}
+	_, deltas, _, _ = diffBenchmarks(oldF, newF, loose)
+	for _, d := range deltas["BenchmarkA"] {
+		want := d.ratio > 2.5
+		if d.regressed != want {
+			t.Errorf("threshold 2.5 metric %s ratio %.2f regressed=%v", d.metric, d.ratio, d.regressed)
+		}
+	}
+}
+
+func TestCompareMetricZeroBaseline(t *testing.T) {
+	if d := compareMetric("allocs/op", 0, 0, 1.10); d.regressed {
+		t.Errorf("0 -> 0 flagged: %+v", d)
+	}
+	if d := compareMetric("allocs/op", 0, 5, 1.10); !d.regressed {
+		t.Errorf("0 -> 5 not flagged: %+v", d)
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -36,6 +38,8 @@ var (
 	flagPNG        = flag.String("png", "", "directory to write fig12/fig13 world maps as PNG")
 	flagMetrics    = flag.Bool("metrics", false, "instrument the runs and print cost metrics at the end")
 	flagMetricsOut = flag.String("metricsout", "", "write the metrics snapshot as JSON to this file")
+	flagCPUProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
+	flagMemProfile = flag.String("memprofile", "", "write a pprof heap profile taken after the selected experiments to this file")
 )
 
 // ctx lazily builds the shared world and study.
@@ -113,6 +117,29 @@ func main() {
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
+	}
+	// The heap-profile defer is registered first so it runs after the CPU
+	// profile has stopped: its runtime.GC barrier then cannot pollute the
+	// CPU samples.
+	if *flagMemProfile != "" {
+		defer func() {
+			f, err := os.Create(*flagMemProfile)
+			must(err)
+			runtime.GC() // materialize the retained-heap picture
+			must(pprof.WriteHeapProfile(f))
+			must(f.Close())
+			fmt.Fprintf(os.Stderr, "heap profile written to %s\n", *flagMemProfile)
+		}()
+	}
+	if *flagCPUProfile != "" {
+		f, err := os.Create(*flagCPUProfile)
+		must(err)
+		must(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			must(f.Close())
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *flagCPUProfile)
+		}()
 	}
 	c := &ctx{}
 	if *flagMetrics || *flagMetricsOut != "" {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"sleepnet/internal/dsp"
 )
@@ -69,12 +70,28 @@ type DiurnalResult struct {
 	Spectrum *dsp.Spectrum
 }
 
+// scratchPool shares warm dsp workspaces across the concurrent pipeline
+// workers: DetectDiurnal and StrongestCyclesPerDay borrow one per call, so
+// classifying thousands of same-length series reuses the same transform
+// buffers instead of rebuilding them per block.
+var scratchPool = sync.Pool{New: func() any { return dsp.NewScratch() }}
+
 // DetectDiurnal classifies a cleaned, midnight-trimmed availability series
 // covering the given whole number of days. The series should be the
 // short-term estimate Âs sampled every round (§2.2). It returns an error
 // when days < 2 or the series is shorter than one sample per day, because
 // the diurnal bin would be indistinguishable from the series trend.
 func DetectDiurnal(values []float64, days int) (DiurnalResult, error) {
+	sc := scratchPool.Get().(*dsp.Scratch)
+	defer scratchPool.Put(sc)
+	return DetectDiurnalScratch(values, days, sc)
+}
+
+// DetectDiurnalScratch is DetectDiurnal staging the detrended series and
+// transform temporaries through the caller's scratch. Steady state it
+// allocates only the retained Spectrum; the scratch must not be shared
+// across goroutines.
+func DetectDiurnalScratch(values []float64, days int, sc *dsp.Scratch) (DiurnalResult, error) {
 	if days < 2 {
 		return DiurnalResult{}, fmt.Errorf("core: DetectDiurnal needs >= 2 days, got %d", days)
 	}
@@ -83,7 +100,8 @@ func DetectDiurnal(values []float64, days int) (DiurnalResult, error) {
 	}
 	// Remove the mean so bin 0 does not dominate, and remove any linear
 	// trend so slow drift is not mistaken for low-frequency strength.
-	spec := dsp.NewSpectrum(dsp.DetrendLinear(values))
+	detrended := dsp.DetrendLinearInto(sc.Floats(len(values)), values)
+	spec := dsp.NewSpectrumScratch(detrended, sc)
 	res := DiurnalResult{Days: days, Spectrum: spec}
 
 	kd := days
@@ -141,7 +159,10 @@ func StrongestCyclesPerDay(values []float64, days int) (float64, error) {
 	if len(values) < 2 {
 		return 0, fmt.Errorf("core: series too short")
 	}
-	spec := dsp.NewSpectrum(dsp.DetrendLinear(values))
+	sc := scratchPool.Get().(*dsp.Scratch)
+	defer scratchPool.Put(sc)
+	detrended := dsp.DetrendLinearInto(sc.Floats(len(values)), values)
+	spec := dsp.NewSpectrumScratch(detrended, sc)
 	bin, _ := spec.Peak()
 	return float64(bin) / float64(days), nil
 }

@@ -84,12 +84,23 @@ func IFFT(x []complex128) []complex128 {
 // complex spectrum of length len(x). Bins k and n-k are conjugate
 // symmetric; callers interested in physical frequencies normally inspect
 // bins 0..n/2 only.
+//
+// The transform runs through the cached plan for len(x): even lengths use
+// the packed real-input path (a half-length complex transform plus
+// untangling), odd lengths the planned complex path. See Plan.RealForward
+// for the scratch-reusing, one-sided form.
 func RealFFT(x []float64) []complex128 {
-	cx := make([]complex128, len(x))
-	for i, v := range x {
-		cx[i] = complex(v, 0)
+	n := len(x)
+	p := PlanFor(n)
+	s := getScratch()
+	defer putScratch(s)
+	out := make([]complex128, n)
+	stop := observeFFT(n)
+	p.realForwardFullInto(out, x, s)
+	if stop != nil {
+		stop()
 	}
-	return FFT(cx)
+	return out
 }
 
 // DFT computes the transform by the O(n^2) definition. It exists as a

@@ -1,0 +1,225 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// planTestLengths covers the trivial, power-of-two (radix-2), and
+// non-power-of-two (Bluestein) regimes, even and odd, including the
+// ~131-samples-per-day series lengths the pipeline actually produces.
+var planTestLengths = []int{1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 27, 64, 100, 128, 255, 256, 458, 459, 917, 918, 1000, 1024}
+
+func randComplex(r *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return x
+}
+
+func randReal(r *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	return x
+}
+
+func maxAbs(x []complex128) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := cmplx.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// TestPlanForwardMatchesFFT is the acceptance property: planned transforms
+// agree with the unplanned FFT to within 1e-12 (relative to the spectrum
+// peak) across power-of-two and Bluestein lengths. The complex path is in
+// fact engineered to be bit-identical — its tables replay the unplanned
+// recurrences — and the test pins that stronger property too, because the
+// same-seed golden contract depends on it.
+func TestPlanForwardMatchesFFT(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	s := NewScratch()
+	for _, n := range planTestLengths {
+		x := randComplex(r, n)
+		want := FFT(x)
+		got := PlanFor(n).Forward(nil, x, s)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: got %d bins, want %d", n, len(got), len(want))
+		}
+		scale := maxAbs(want)
+		for k := range want {
+			if d := cmplx.Abs(got[k] - want[k]); d > 1e-12*scale {
+				t.Errorf("n=%d bin %d: plan %v vs fft %v (|d|=%g)", n, k, got[k], want[k], d)
+			}
+			if got[k] != want[k] { //lint:allow floateq: pinning exact bit-identity of the planned complex path
+				t.Errorf("n=%d bin %d: planned transform not bit-identical: %v vs %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestPlanRealForwardMatchesReference checks the packed real-input path
+// (and the odd-length staging path) against the unplanned complex
+// transform of the same series, within the 1e-12 acceptance tolerance.
+func TestPlanRealForwardMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	s := NewScratch()
+	for _, n := range planTestLengths {
+		x := randReal(r, n)
+		cx := make([]complex128, n)
+		for i, v := range x {
+			cx[i] = complex(v, 0)
+		}
+		want := FFT(cx)
+		got := PlanFor(n).RealForward(nil, x, s)
+		keep := n/2 + 1
+		if len(got) != keep {
+			t.Fatalf("n=%d: got %d bins, want %d", n, len(got), keep)
+		}
+		scale := maxAbs(want)
+		for k := 0; k < keep; k++ {
+			if d := cmplx.Abs(got[k] - want[k]); d > 1e-12*scale {
+				t.Errorf("n=%d bin %d: real plan %v vs reference %v (|d|=%g)", n, k, got[k], want[k], d)
+			}
+		}
+	}
+}
+
+// TestRealFFTMatchesDFT anchors the rerouted RealFFT against the O(n^2)
+// definition on small lengths, full spectrum including the mirrored half.
+func TestRealFFTMatchesDFT(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 12, 17, 30} {
+		x := randReal(r, n)
+		cx := make([]complex128, n)
+		for i, v := range x {
+			cx[i] = complex(v, 0)
+		}
+		want := DFT(cx)
+		got := RealFFT(x)
+		scale := maxAbs(want) + 1
+		for k := range want {
+			if d := cmplx.Abs(got[k] - want[k]); d > 1e-9*scale {
+				t.Errorf("n=%d bin %d: RealFFT %v vs DFT %v (|d|=%g)", n, k, got[k], want[k], d)
+			}
+		}
+	}
+}
+
+// TestSpectrumBitIdenticalToUnplanned pins the spectrum constructors to
+// the exact path: Coef must be bit-identical to the unplanned FFT of the
+// complexified series, which is what keeps same-seed study output (classes
+// AND phases) byte-identical across the planned/unplanned implementations.
+func TestSpectrumBitIdenticalToUnplanned(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for _, n := range planTestLengths {
+		x := randReal(r, n)
+		cx := make([]complex128, n)
+		for i, v := range x {
+			cx[i] = complex(v, 0)
+		}
+		want := FFT(cx)
+		s := NewSpectrum(x)
+		for k := range s.Coef {
+			if s.Coef[k] != want[k] { //lint:allow floateq: the exact-path spectrum must match the unplanned FFT bit for bit
+				t.Errorf("n=%d bin %d: spectrum %v vs unplanned %v", n, k, s.Coef[k], want[k])
+			}
+		}
+	}
+}
+
+// TestPlanScratchReuse checks that reusing one scratch across different
+// lengths and directions cannot corrupt results (buffers are resized, not
+// assumed clean).
+func TestPlanScratchReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	s := NewScratch()
+	// Interleave large and small, even and odd, so every slot shrinks and
+	// grows repeatedly.
+	order := []int{1024, 5, 918, 2, 917, 1000, 3, 256}
+	for pass := 0; pass < 3; pass++ {
+		for _, n := range order {
+			x := randReal(r, n)
+			got := PlanFor(n).RealForward(nil, x, s)
+			fresh := PlanFor(n).RealForward(nil, x, NewScratch())
+			for k := range got {
+				if got[k] != fresh[k] { //lint:allow floateq: identical code path must yield identical bits regardless of scratch history
+					t.Fatalf("n=%d bin %d: scratch reuse changed result: %v vs %v", n, k, got[k], fresh[k])
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCacheConcurrent hammers PlanFor and the transforms from many
+// goroutines; run under -race this is the acceptance check that the plan
+// cache and the immutable plans are safe for concurrent use.
+func TestPlanCacheConcurrent(t *testing.T) {
+	lengths := []int{64, 100, 917, 918, 1024}
+	// Per-length reference computed serially first.
+	refs := make(map[int][]complex128)
+	inputs := make(map[int][]float64)
+	r := rand.New(rand.NewSource(46))
+	for _, n := range lengths {
+		inputs[n] = randReal(r, n)
+		refs[n] = PlanFor(n).RealForward(nil, inputs[n], nil)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := NewScratch()
+			for it := 0; it < 20; it++ {
+				n := lengths[(g+it)%len(lengths)]
+				got := PlanFor(n).RealForward(nil, inputs[n], s)
+				for k := range got {
+					if got[k] != refs[n][k] { //lint:allow floateq: concurrent planned runs must be bit-identical to the serial run
+						t.Errorf("goroutine %d n=%d bin %d: %v vs %v", g, n, k, got[k], refs[n][k])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestPlanForPanicsOnMismatch pins the misuse contract: a plan rejects
+// inputs of the wrong length loudly instead of corrupting memory.
+func TestPlanForPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Forward with mismatched length should panic")
+		}
+	}()
+	PlanFor(8).Forward(nil, make([]complex128, 7), nil)
+}
+
+// TestRealForwardDCAndNyquist spot-checks physically meaningful bins on a
+// constant series: all energy in DC, Nyquist exactly zero.
+func TestRealForwardDCAndNyquist(t *testing.T) {
+	n := 64
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 2.5
+	}
+	got := PlanFor(n).RealForward(nil, x, nil)
+	if math.Abs(real(got[0])-2.5*float64(n)) > 1e-9 || math.Abs(imag(got[0])) > 1e-9 {
+		t.Errorf("DC bin = %v, want %v", got[0], complex(2.5*float64(n), 0))
+	}
+	for k := 1; k <= n/2; k++ {
+		if cmplx.Abs(got[k]) > 1e-9 {
+			t.Errorf("bin %d = %v, want 0 for constant input", k, got[k])
+		}
+	}
+}

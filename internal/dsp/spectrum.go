@@ -1,6 +1,7 @@
 package dsp
 
 import (
+	"fmt"
 	"math"
 	"math/cmplx"
 )
@@ -21,7 +22,25 @@ type Spectrum struct {
 // The series mean (DC) is retained in bin 0 but is excluded by the peak
 // helpers, which look for periodic structure only.
 func NewSpectrum(x []float64) *Spectrum {
-	full := RealFFT(x)
+	sc := getScratch()
+	defer putScratch(sc)
+	return NewSpectrumScratch(x, sc)
+}
+
+// NewSpectrumScratch is NewSpectrum staging transform temporaries through
+// the caller's scratch, so a worker classifying many same-length series
+// allocates only the returned Spectrum. The Spectrum owns its Coef and Amp
+// storage and may be retained after the scratch is reused.
+//
+// The transform takes the plan's numerically exact path (bit-identical to
+// the historical unplanned FFT) rather than the packed real shortcut, so
+// same-seed study output — including coefficient phases — stays
+// byte-identical across implementations.
+func NewSpectrumScratch(x []float64, sc *Scratch) *Spectrum {
+	if sc == nil {
+		sc = getScratch()
+		defer putScratch(sc)
+	}
 	n := len(x)
 	keep := n/2 + 1
 	if n == 0 {
@@ -29,11 +48,16 @@ func NewSpectrum(x []float64) *Spectrum {
 	}
 	s := &Spectrum{
 		N:    n,
-		Coef: full[:keep:keep],
+		Coef: make([]complex128, keep),
 		Amp:  make([]float64, keep),
 	}
+	stop := observeFFT(n)
+	PlanFor(n).realForwardExactInto(s.Coef, x, sc)
+	if stop != nil {
+		stop()
+	}
 	for k := 0; k < keep; k++ {
-		s.Amp[k] = cmplx.Abs(full[k])
+		s.Amp[k] = cmplx.Abs(s.Coef[k])
 	}
 	return s
 }
@@ -123,7 +147,18 @@ func Detrend(x []float64) []float64 {
 
 // DetrendLinear removes the least-squares line from x in a fresh slice.
 func DetrendLinear(x []float64) []float64 {
-	out := make([]float64, len(x))
+	return DetrendLinearInto(make([]float64, len(x)), x)
+}
+
+// DetrendLinearInto removes the least-squares line from x into dst (which
+// must have length len(x); dst may be x itself) and returns dst. It is the
+// allocation-free form of DetrendLinear for callers staging through a
+// Scratch.
+func DetrendLinearInto(dst, x []float64) []float64 {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("dsp: DetrendLinearInto: dst length %d does not match input length %d", len(dst), len(x)))
+	}
+	out := dst
 	n := float64(len(x))
 	if len(x) == 0 {
 		return out

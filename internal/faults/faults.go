@@ -194,6 +194,11 @@ func (in *Injector) Outbound(dst netsim.Addr, now time.Time) (time.Time, netsim.
 // modes exercise the parser's distinct error paths: truncation
 // (ErrTruncated for short messages, ErrChecksum otherwise), a single bit
 // flip (ErrChecksum), and payload bloat past the size bound (ErrPayloadSize).
+//
+// The reply slice may be a prober's reusable netsim.ReplyBuffer storage, so
+// the Tap contract applies: it is never retained past the call and every
+// corruption mode returns a fresh copy (copy-on-corrupt) instead of
+// mutating the caller's bytes in place.
 func (in *Injector) Inbound(dst netsim.Addr, reply []byte, now time.Time) []byte {
 	if in.cfg.CorruptRate <= 0 || len(reply) == 0 {
 		return reply

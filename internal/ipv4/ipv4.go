@@ -70,11 +70,27 @@ type Header struct {
 // Marshal encodes the header followed by the payload, computing lengths
 // and the header checksum.
 func (h *Header) Marshal(payload []byte) ([]byte, error) {
+	b, err := h.MarshalAppend(make([]byte, 0, HeaderLen+len(payload)), payload)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// MarshalAppend appends the encoded header followed by the payload to dst
+// and returns the extended slice. Passing a scratch slice with spare
+// capacity makes encoding allocation-free; the payload may not alias the
+// spare capacity of dst.
+func (h *Header) MarshalAppend(dst []byte, payload []byte) ([]byte, error) {
 	total := HeaderLen + len(payload)
 	if total > MaxPacket {
-		return nil, fmt.Errorf("%w: %d bytes", ErrLength, total)
+		return dst, fmt.Errorf("%w: %d bytes", ErrLength, total)
 	}
-	b := make([]byte, total)
+	off := len(dst)
+	var hdr [HeaderLen]byte
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	b := dst[off:]
 	b[0] = 0x45 // version 4, IHL 5
 	b[1] = h.TOS
 	binary.BigEndian.PutUint16(b[2:4], uint16(total))
@@ -91,31 +107,42 @@ func (h *Header) Marshal(payload []byte) ([]byte, error) {
 	copy(b[12:16], h.Src[:])
 	copy(b[16:20], h.Dst[:])
 	binary.BigEndian.PutUint16(b[10:12], headerChecksum(b[:HeaderLen]))
-	copy(b[HeaderLen:], payload)
-	return b, nil
+	return dst, nil
 }
 
 // Parse decodes and validates a packet, returning the header and a view of
 // the payload (not copied).
 func Parse(b []byte) (*Header, []byte, error) {
+	h := new(Header)
+	payload, err := ParseHeader(h, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, payload, nil
+}
+
+// ParseHeader decodes and validates a packet into the caller's header,
+// returning a view of the payload (not copied). It is the allocation-free
+// form of Parse.
+func ParseHeader(h *Header, b []byte) ([]byte, error) {
 	if len(b) < HeaderLen {
-		return nil, nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
 	}
 	if b[0]>>4 != 4 {
-		return nil, nil, fmt.Errorf("%w: version %d", ErrVersion, b[0]>>4)
+		return nil, fmt.Errorf("%w: version %d", ErrVersion, b[0]>>4)
 	}
 	ihl := int(b[0]&0x0f) * 4
 	if ihl != HeaderLen {
-		return nil, nil, fmt.Errorf("%w: IHL %d", ErrOptions, ihl)
+		return nil, fmt.Errorf("%w: IHL %d", ErrOptions, ihl)
 	}
 	if headerChecksum(b[:HeaderLen]) != 0 {
-		return nil, nil, ErrChecksum
+		return nil, ErrChecksum
 	}
 	total := int(binary.BigEndian.Uint16(b[2:4]))
 	if total < HeaderLen || total > len(b) {
-		return nil, nil, fmt.Errorf("%w: total %d of %d", ErrLength, total, len(b))
+		return nil, fmt.Errorf("%w: total %d of %d", ErrLength, total, len(b))
 	}
-	h := &Header{
+	*h = Header{
 		TOS:      b[1],
 		ID:       binary.BigEndian.Uint16(b[4:6]),
 		DontFrag: b[6]&0x40 != 0,
@@ -125,7 +152,7 @@ func Parse(b []byte) (*Header, []byte, error) {
 	}
 	copy(h.Src[:], b[12:16])
 	copy(h.Dst[:], b[16:20])
-	return h, b[HeaderLen:total], nil
+	return b[HeaderLen:total], nil
 }
 
 // DecrementTTL returns a copy of the packet with TTL reduced by hops and
@@ -144,6 +171,20 @@ func DecrementTTL(b []byte, hops int) (out []byte, ok bool) {
 	out[10], out[11] = 0, 0
 	binary.BigEndian.PutUint16(out[10:12], headerChecksum(out[:HeaderLen]))
 	return out, true
+}
+
+// TTLSurvives reports whether a packet whose header starts b would survive
+// a path of the given hop count — the same verdict DecrementTTL's ok result
+// gives, without copying the packet. It exists for forwarding paths that
+// only need the life-or-death answer, not the decremented copy.
+func TTLSurvives(b []byte, hops int) bool {
+	if len(b) < HeaderLen {
+		return false
+	}
+	if hops <= 0 {
+		return true
+	}
+	return int(b[8]) > hops
 }
 
 // headerChecksum is the RFC 1071 checksum over the header; a valid header

@@ -14,6 +14,12 @@ import (
 // Response is the outcome of one probe round trip.
 type Response struct {
 	// Data is the raw reply packet; nil when the probe timed out.
+	//
+	// Lifetime: when the probe was issued through ProbeInto/DeliverIPInto,
+	// Data aliases the caller's ReplyBuffer and is only valid until the next
+	// Probe/DeliverIP call for the same prober (the same buffer). Probe and
+	// DeliverIP without a buffer return freshly allocated Data with no such
+	// restriction.
 	Data []byte
 	// RTT is the simulated round-trip time for delivered replies.
 	RTT time.Duration
@@ -53,7 +59,47 @@ type Tap interface {
 	Outbound(dst Addr, now time.Time) (time.Time, TapVerdict)
 	// Inbound may corrupt or replace a reply on its way back. Returning nil
 	// drops the reply (the probe times out).
+	//
+	// The reply slice may be a prober's reusable ReplyBuffer storage that is
+	// overwritten by its next probe: implementations must not retain it past
+	// the call, and must copy-on-corrupt (return a fresh slice) rather than
+	// mutate it in place, so a tap never scribbles on buffers it does not
+	// own. internal/faults follows this contract.
 	Inbound(dst Addr, reply []byte, now time.Time) []byte
+}
+
+// ReplyBuffer is the reusable reply storage one prober threads through
+// ProbeInto/DeliverIPInto so that reply construction allocates nothing in
+// steady state. The zero value is ready to use; the buffer grows to the
+// largest reply seen and is reused afterwards.
+//
+// A ReplyBuffer belongs to exactly one prober (one probing goroutine): the
+// Response.Data returned through it is only valid until that prober's next
+// ProbeInto/DeliverIPInto call, and the buffer itself must not be shared
+// across goroutines.
+type ReplyBuffer struct {
+	// icmp holds the ICMP-layer reply Probe builds; ip holds the IPv4
+	// encapsulation DeliverIP wraps around it. They are distinct so the
+	// wrap step never copies a slice over itself.
+	icmp []byte
+	ip   []byte
+}
+
+// icmpScratch returns the empty ICMP-layer scratch to append into, or nil
+// (allocate fresh) when no buffer is in play.
+func (rb *ReplyBuffer) icmpScratch() []byte {
+	if rb == nil {
+		return nil
+	}
+	return rb.icmp[:0]
+}
+
+// ipScratch is icmpScratch for the IPv4 encapsulation layer.
+func (rb *ReplyBuffer) ipScratch() []byte {
+	if rb == nil {
+		return nil
+	}
+	return rb.ip[:0]
 }
 
 // Counters accumulates network-wide accounting, used to check the paper's
@@ -79,12 +125,19 @@ type Network struct {
 	// Stats counts global probe outcomes.
 	Stats Counters
 	// perBlockProbes counts probes per block for radiation-budget checks.
-	perBlockProbes sync.Map // BlockID -> *atomic.Int64
+	// A plain map under mu (counters pre-registered by AddBlock) rather
+	// than a sync.Map: the uint32 key would be boxed on every sync.Map
+	// lookup, putting one allocation on every probe.
+	perBlockProbes map[BlockID]*atomic.Int64
 }
 
 // NewNetwork creates an empty simulated network with the given seed.
 func NewNetwork(seed uint64) *Network {
-	return &Network{blocks: make(map[BlockID]*Block), seed: seed}
+	return &Network{
+		blocks:         make(map[BlockID]*Block),
+		seed:           seed,
+		perBlockProbes: make(map[BlockID]*atomic.Int64),
+	}
 }
 
 // SetTap installs (or, with nil, removes) a delivery-path fault tap. Like
@@ -100,6 +153,9 @@ func (n *Network) AddBlock(b *Block) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.blocks[b.ID] = b
+	if n.perBlockProbes[b.ID] == nil {
+		n.perBlockProbes[b.ID] = new(atomic.Int64)
+	}
 }
 
 // Block returns the block with the given id, or nil.
@@ -131,13 +187,25 @@ func (n *Network) BlockIDs() []BlockID {
 
 // Probe sends the marshalled ICMP packet pkt to dst at virtual time now and
 // returns the outcome. Malformed probes are dropped (counted, timeout), as
-// a real network stack would discard them.
+// a real network stack would discard them. Response.Data is freshly
+// allocated; ProbeInto is the buffer-reusing form.
 func (n *Network) Probe(dst Addr, pkt []byte, now time.Time) Response {
+	return n.probe(nil, dst, pkt, now)
+}
+
+// ProbeInto is Probe with reply construction into the caller's reusable
+// buffer: Response.Data aliases buf and is only valid until the caller's
+// next ProbeInto/DeliverIPInto call with the same buffer.
+func (n *Network) ProbeInto(buf *ReplyBuffer, dst Addr, pkt []byte, now time.Time) Response {
+	return n.probe(buf, dst, pkt, now)
+}
+
+func (n *Network) probe(buf *ReplyBuffer, dst Addr, pkt []byte, now time.Time) Response {
 	n.Stats.Probes.Add(1)
 	n.countBlockProbe(dst.Block)
 
-	echo, err := icmp.ParseEcho(pkt)
-	if err != nil || echo.Reply {
+	var echo icmp.Echo
+	if err := icmp.ParseEchoInto(&echo, pkt); err != nil || echo.Reply {
 		n.Stats.Malformed.Add(1)
 		return Response{Timeout: true}
 	}
@@ -159,10 +227,13 @@ func (n *Network) Probe(dst Addr, pkt []byte, now time.Time) Response {
 			return Response{Timeout: true, SendFailed: true}
 		case TapAdminProhibited:
 			n.Stats.RateLimited.Add(1)
-			un, uerr := (&icmp.Unreachable{Code: icmp.CodeAdminProhibited, Original: pkt}).Marshal()
+			un, uerr := (&icmp.Unreachable{Code: icmp.CodeAdminProhibited, Original: pkt}).MarshalAppend(buf.icmpScratch())
 			if uerr != nil {
 				n.Stats.Timeouts.Add(1)
 				return Response{Timeout: true}
+			}
+			if buf != nil {
+				buf.icmp = un
 			}
 			rtt := 20 * time.Millisecond
 			if blk != nil {
@@ -195,8 +266,11 @@ func (n *Network) Probe(dst Addr, pkt []byte, now time.Time) Response {
 		if blk.GatewayUnreachableProb > 0 && blk.InOutage(now) {
 			u := prfFloat(n.seed^blk.Seed^0x6a7e, dst.key(), uint64(echo.Seq), uint64(now.UnixNano()))
 			if u < blk.GatewayUnreachableProb {
-				un, err := (&icmp.Unreachable{Code: icmp.CodeHostUnreachable, Original: pkt}).Marshal()
+				un, err := (&icmp.Unreachable{Code: icmp.CodeHostUnreachable, Original: pkt}).MarshalAppend(buf.icmpScratch())
 				if err == nil {
+					if buf != nil {
+						buf.icmp = un
+					}
 					n.Stats.Replies.Add(1)
 					return n.inbound(tap, dst, Response{Data: un, RTT: blk.LatencyBase}, now)
 				}
@@ -212,11 +286,18 @@ func (n *Network) Probe(dst Addr, pkt []byte, now time.Time) Response {
 		return Response{Timeout: true}
 	}
 
-	reply, err := icmp.ReplyTo(echo).Marshal()
+	// Build the echo reply straight from the parsed request: same ID, Seq,
+	// and payload (echo.Payload aliases pkt; MarshalAppend copies it into
+	// the reply, so the alias never outlives this call).
+	echoReply := icmp.Echo{Reply: true, ID: echo.ID, Seq: echo.Seq, Payload: echo.Payload}
+	reply, err := echoReply.MarshalAppend(buf.icmpScratch())
 	if err != nil {
 		// Cannot happen for a parsed request, but fail closed.
 		n.Stats.Malformed.Add(1)
 		return Response{Timeout: true}
+	}
+	if buf != nil {
+		buf.icmp = reply
 	}
 	rtt := blk.LatencyBase
 	if blk.LatencyJitter > 0 {
@@ -247,9 +328,22 @@ func (n *Network) inbound(tap Tap, dst Addr, resp Response, now time.Time) Respo
 // hop count is charged against the TTL, and the ICMP payload is delivered
 // as Probe would. Replies come back IPv4-encapsulated with source and
 // destination swapped. This is the path real probes take; Probe remains
-// for callers that operate below the IP layer.
+// for callers that operate below the IP layer. Response.Data is freshly
+// allocated; DeliverIPInto is the buffer-reusing form.
 func (n *Network) DeliverIP(pkt []byte, now time.Time) Response {
-	hdr, payload, err := ipv4.Parse(pkt)
+	return n.deliverIP(nil, pkt, now)
+}
+
+// DeliverIPInto is DeliverIP with reply construction into the caller's
+// reusable buffer: Response.Data aliases buf and is only valid until the
+// caller's next ProbeInto/DeliverIPInto call with the same buffer.
+func (n *Network) DeliverIPInto(buf *ReplyBuffer, pkt []byte, now time.Time) Response {
+	return n.deliverIP(buf, pkt, now)
+}
+
+func (n *Network) deliverIP(buf *ReplyBuffer, pkt []byte, now time.Time) Response {
+	var hdr ipv4.Header
+	payload, err := ipv4.ParseHeader(&hdr, pkt)
 	if err != nil || hdr.Protocol != ipv4.ProtoICMP {
 		n.Stats.Probes.Add(1)
 		n.Stats.Malformed.Add(1)
@@ -261,14 +355,14 @@ func (n *Network) DeliverIP(pkt []byte, now time.Time) Response {
 	n.mu.RUnlock()
 	if blk != nil {
 		// The packet must survive the path.
-		if _, ok := ipv4.DecrementTTL(pkt, blk.PathHops()); !ok {
+		if !ipv4.TTLSurvives(pkt, blk.PathHops()) {
 			n.Stats.Probes.Add(1)
 			n.countBlockProbe(dst.Block)
 			n.Stats.Timeouts.Add(1)
 			return Response{Timeout: true}
 		}
 	}
-	resp := n.Probe(dst, payload, now)
+	resp := n.probe(buf, dst, payload, now)
 	if resp.Timeout || resp.Data == nil {
 		return resp
 	}
@@ -276,36 +370,53 @@ func (n *Network) DeliverIP(pkt []byte, now time.Time) Response {
 	if blk != nil {
 		hops = blk.PathHops()
 	}
-	replyHdr := &ipv4.Header{
+	replyHdr := ipv4.Header{
 		ID:       hdr.ID,
 		TTL:      byte(ipv4.DefaultTTL - min(hops, ipv4.DefaultTTL-1)),
 		Protocol: ipv4.ProtoICMP,
 		Src:      hdr.Dst,
 		Dst:      hdr.Src,
 	}
-	wrapped, err := replyHdr.Marshal(resp.Data)
+	// resp.Data lives in buf.icmp (or a tap-corrupted copy); the wrap
+	// appends into the distinct buf.ip, so no self-overlapping copy.
+	wrapped, err := replyHdr.MarshalAppend(buf.ipScratch(), resp.Data)
 	if err != nil {
 		n.Stats.Malformed.Add(1)
 		return Response{Timeout: true}
+	}
+	if buf != nil {
+		buf.ip = wrapped
 	}
 	resp.Data = wrapped
 	return resp
 }
 
 func (n *Network) countBlockProbe(id BlockID) {
-	v, ok := n.perBlockProbes.Load(id)
-	if !ok {
-		v, _ = n.perBlockProbes.LoadOrStore(id, new(atomic.Int64))
+	n.mu.RLock()
+	c := n.perBlockProbes[id]
+	n.mu.RUnlock()
+	if c == nil {
+		// Probe to a block never registered (unrouted space): register a
+		// counter lazily. Off the steady-state path — AddBlock pre-registers.
+		n.mu.Lock()
+		if c = n.perBlockProbes[id]; c == nil {
+			c = new(atomic.Int64)
+			n.perBlockProbes[id] = c
+		}
+		n.mu.Unlock()
 	}
-	v.(*atomic.Int64).Add(1)
+	c.Add(1)
 }
 
 // ProbesToBlock returns how many probes were addressed to the block.
 func (n *Network) ProbesToBlock(id BlockID) int64 {
-	if v, ok := n.perBlockProbes.Load(id); ok {
-		return v.(*atomic.Int64).Load()
+	n.mu.RLock()
+	c := n.perBlockProbes[id]
+	n.mu.RUnlock()
+	if c == nil {
+		return 0
 	}
-	return 0
+	return c.Load()
 }
 
 // ProbeRatePerHour converts a probe count over an observation window into

@@ -1,0 +1,47 @@
+package trinocular
+
+import (
+	"testing"
+
+	"sleepnet/internal/netsim"
+)
+
+// TestProbeRoundAllocFree pins the steady-state allocation budget of the
+// wire path at zero: after the first round has grown the per-block scratch
+// buffers, a ProbeRound — marshal echo, IPv4-encapsulate, deliver, build
+// the reply into the block's ReplyBuffer, parse it back — must not touch
+// the heap. A failure here means a future change reintroduced garbage on
+// the hot path (the whole point of the append/Into APIs).
+func TestProbeRoundAllocFree(t *testing.T) {
+	n := netsim.NewNetwork(1)
+	up := buildBlock(netsim.MakeBlockID(10, 0, 1), 100, 0, 0)
+	n.AddBlock(up)
+	// An intermittent block exercises the multi-probe negative path too.
+	flaky := buildBlock(netsim.MakeBlockID(10, 0, 2), 0, 100, 0.3)
+	n.AddBlock(flaky)
+
+	p := New(n, Config{}, 7)
+	for _, blk := range []*netsim.Block{up, flaky} {
+		if err := p.AddBlock(blk.ID, blk.EverActive()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Warm-up: grow scratch buffers and settle beliefs.
+	round := 0
+	probeAll := func() {
+		for _, blk := range []*netsim.Block{up, flaky} {
+			if _, err := p.ProbeRound(blk.ID, at(0, 0, round*11), 0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		round++
+	}
+	probeAll()
+	probeAll()
+
+	avg := testing.AllocsPerRun(50, probeAll)
+	if avg != 0 {
+		t.Fatalf("ProbeRound allocates %.2f times per two-block round, want 0", avg)
+	}
+}

@@ -37,6 +37,16 @@ type ProbeNetwork interface {
 	DeliverIP(pkt []byte, now time.Time) netsim.Response
 }
 
+// ProbeNetworkBuffered is the optional fast path: networks that can build
+// the reply into a caller-owned ReplyBuffer instead of allocating it.
+// *netsim.Network implements it. New detects it once and routes every probe
+// through it, making the steady-state wire path allocation-free; plain
+// ProbeNetwork implementations keep working unchanged.
+type ProbeNetworkBuffered interface {
+	ProbeNetwork
+	DeliverIPInto(buf *netsim.ReplyBuffer, pkt []byte, now time.Time) netsim.Response
+}
+
 // Config tunes the prober. The zero value is completed by defaults matching
 // the paper's deployment.
 type Config struct {
@@ -216,6 +226,14 @@ type blockState struct {
 	// outage log with false positives. Recovery needs no debounce — a
 	// positive response is near-conclusive evidence of up.
 	downStreak int
+
+	// Per-block wire scratch: the marshalled echo, its IPv4 encapsulation,
+	// and the network's reply all reuse these buffers round after round, so
+	// a probe allocates nothing after the first round trip. Safe because
+	// rounds for one block never run concurrently (see Prober).
+	echoBuf []byte
+	pktBuf  []byte
+	reply   netsim.ReplyBuffer
 }
 
 // Prober drives adaptive probing over a set of blocks. After all blocks
@@ -223,8 +241,11 @@ type blockState struct {
 // concurrent rounds for the same block are not supported (a real prober
 // never probes one block twice in a round either).
 type Prober struct {
-	cfg       Config
-	net       ProbeNetwork
+	cfg Config
+	net ProbeNetwork
+	// bufNet is net when it also implements ProbeNetworkBuffered (detected
+	// once in New), nil otherwise.
+	bufNet    ProbeNetworkBuffered
 	seed      uint64
 	epoch     time.Time // established on first round; restart phase reference
 	epochOnce sync.Once
@@ -275,13 +296,17 @@ func (p *Prober) ProbesSent() int64 { return p.probesSent.Load() }
 
 // New creates a prober over the given network.
 func New(net ProbeNetwork, cfg Config, seed uint64) *Prober {
-	return &Prober{
+	p := &Prober{
 		cfg:    cfg.withDefaults(),
 		net:    net,
 		seed:   seed,
 		states: make(map[netsim.BlockID]*blockState),
 		m:      newProberMetrics(cfg.Metrics),
 	}
+	if bn, ok := net.(ProbeNetworkBuffered); ok {
+		p.bufNet = bn
+	}
+	return p
 }
 
 // AddBlock registers a block for probing given its historically ever-active
@@ -508,31 +533,42 @@ const (
 // anything else (timeout, malformed, mismatched) counts as silence.
 func (p *Prober) sendProbe(st *blockState, host byte, now time.Time) probeOutcome {
 	target := st.id.Addr(host)
-	echoPkt, err := (&icmp.Echo{ID: p.cfg.ProbeID, Seq: st.seq}).Marshal()
+	echo := icmp.Echo{ID: p.cfg.ProbeID, Seq: st.seq}
+	echoPkt, err := echo.MarshalAppend(st.echoBuf[:0])
+	st.echoBuf = echoPkt
 	if err != nil {
 		return outcomeNegative
 	}
-	hdr := &ipv4.Header{
+	hdr := ipv4.Header{
 		ID:       st.seq,
 		TTL:      ipv4.DefaultTTL,
 		Protocol: ipv4.ProtoICMP,
 		Src:      p.cfg.SrcIP,
 		Dst:      ipv4.Addr(target.IP()),
 	}
-	pkt, err := hdr.Marshal(echoPkt)
+	pkt, err := hdr.MarshalAppend(st.pktBuf[:0], echoPkt)
+	st.pktBuf = pkt
 	if err != nil {
 		return outcomeNegative
 	}
 	p.probesSent.Add(1)
 	p.m.probes.Inc()
-	resp := p.net.DeliverIP(pkt, now)
+	var resp netsim.Response
+	if p.bufNet != nil {
+		// resp.Data aliases st.reply: valid until this block's next probe,
+		// which is after every use below.
+		resp = p.bufNet.DeliverIPInto(&st.reply, pkt, now)
+	} else {
+		resp = p.net.DeliverIP(pkt, now)
+	}
 	if resp.SendFailed {
 		return outcomeSendError
 	}
 	if resp.Timeout || resp.Data == nil {
 		return outcomeNegative
 	}
-	rHdr, payload, err := ipv4.Parse(resp.Data)
+	var rHdr ipv4.Header
+	payload, err := ipv4.ParseHeader(&rHdr, resp.Data)
 	if err != nil || rHdr.Protocol != ipv4.ProtoICMP {
 		return outcomeNegative
 	}
@@ -541,18 +577,20 @@ func (p *Prober) sendProbe(st *blockState, host byte, now time.Time) probeOutcom
 	}
 	switch icmp.TypeOf(payload) {
 	case icmp.TypeDestUnreachable:
-		un, err := icmp.ParseUnreachable(payload)
-		if err != nil {
+		var un icmp.Unreachable
+		if err := icmp.ParseUnreachableInto(&un, payload); err != nil {
 			return outcomeNegative
 		}
 		// The quoted original must be our probe. Gateways may quote the
 		// full IPv4 datagram or just its ICMP payload; accept both.
 		inner := un.Original
-		if _, payload, perr := ipv4.Parse(inner); perr == nil {
-			inner = payload
+		var innerHdr ipv4.Header
+		if innerPayload, perr := ipv4.ParseHeader(&innerHdr, inner); perr == nil {
+			inner = innerPayload
 		}
-		orig, err := icmp.ParseEcho(inner)
-		if err != nil || orig.Reply || orig.ID != p.cfg.ProbeID || orig.Seq != st.seq {
+		var orig icmp.Echo
+		if err := icmp.ParseEchoInto(&orig, inner); err != nil ||
+			orig.Reply || orig.ID != p.cfg.ProbeID || orig.Seq != st.seq {
 			return outcomeNegative
 		}
 		if un.Code == icmp.CodeAdminProhibited {
@@ -563,14 +601,14 @@ func (p *Prober) sendProbe(st *blockState, host byte, now time.Time) probeOutcom
 		if rHdr.Src != ipv4.Addr(target.IP()) {
 			return outcomeNegative
 		}
-		reply, err := icmp.ParseEcho(payload)
-		if err != nil || !reply.Matches(p.cfg.ProbeID, st.seq) {
+		var reply icmp.Echo
+		if err := icmp.ParseEchoInto(&reply, payload); err != nil ||
+			!reply.Matches(p.cfg.ProbeID, st.seq) {
 			return outcomeNegative
 		}
 		return outcomePositive
-	default:
-		return outcomeNegative
 	}
+	return outcomeNegative
 }
 
 // updateBelief applies one Bayesian update to the belief that the block is
