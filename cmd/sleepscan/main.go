@@ -10,6 +10,12 @@
 //	sleepscan [-blocks N] [-days N] [-seed N] [-restarts] [-json]
 //	          [-loss P] [-corrupt P] [-ratelimit N] [-blackout-every D -blackout-for D]
 //	          [-skew D] [-drift D] [-retries N] [-checkpoint FILE [-resume]]
+//
+// The monitor subcommand runs the measurement as a crash-tolerant service
+// with durable WAL recovery and graceful signal drain:
+//
+//	sleepscan monitor [-blocks N] [-rounds N] [-shards N] [-seed N]
+//	                  [-wal DIR] [-sync] [-snapshot-every N] [-o FILE]
 package main
 
 import (
@@ -32,6 +38,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "monitor" {
+		runMonitor(os.Args[2:])
+		return
+	}
 	blocks := flag.Int("blocks", 2000, "number of /24 blocks in the world")
 	days := flag.Int("days", 14, "days of probing")
 	seed := flag.Uint64("seed", 42, "seed")

@@ -10,16 +10,18 @@ import (
 // functions with no receiver to hang a registry off, so instrumentation is a
 // package-level hook installed with SetMetrics.
 type instruments struct {
-	fftCalls   *metrics.Counter
-	fftSize    *metrics.Histogram
-	fftSeconds *metrics.Histogram
+	fftCalls      *metrics.Counter
+	fftSize       *metrics.Histogram
+	fftSeconds    *metrics.Histogram
+	planEvictions *metrics.Counter
 }
 
 var activeInstruments atomic.Pointer[instruments]
 
 // SetMetrics installs (or, with nil, removes) the registry receiving FFT
 // instrumentation: dsp.fft_calls, a size histogram bucketed at powers of
-// two, and a timing histogram. The hook is safe for concurrent use with
+// two, a timing histogram, and dsp.plan_evictions counting plans the
+// LRU-bounded cache dropped. The hook is safe for concurrent use with
 // running transforms; callers that install a registry for one experiment
 // should `defer dsp.SetMetrics(nil)` to avoid leaking it into the next.
 func SetMetrics(r *metrics.Registry) {
@@ -28,9 +30,10 @@ func SetMetrics(r *metrics.Registry) {
 		return
 	}
 	activeInstruments.Store(&instruments{
-		fftCalls:   r.Counter("dsp.fft_calls"),
-		fftSize:    r.Histogram("dsp.fft_size", "points", metrics.ExpBuckets(16, 2, 12)),
-		fftSeconds: r.Histogram("dsp.fft_seconds", metrics.UnitSeconds, metrics.ExpBuckets(1e-7, 10, 8)),
+		fftCalls:      r.Counter("dsp.fft_calls"),
+		fftSize:       r.Histogram("dsp.fft_size", "points", metrics.ExpBuckets(16, 2, 12)),
+		fftSeconds:    r.Histogram("dsp.fft_seconds", metrics.UnitSeconds, metrics.ExpBuckets(1e-7, 10, 8)),
+		planEvictions: r.Counter("dsp.plan_evictions"),
 	})
 }
 

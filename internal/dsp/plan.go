@@ -16,6 +16,7 @@ package dsp
 // only at rounding level (well under 1e-12 relative; see plan_test.go).
 
 import (
+	"container/list"
 	"fmt"
 	"math"
 	"math/bits"
@@ -56,26 +57,104 @@ type radix2Plan struct {
 	inv   [][]complex128 // twiddles per stage, inverse (sign +1)
 }
 
-// planCache maps length -> *Plan. Concurrent builders may race to insert;
-// LoadOrStore keeps the first, and plans are interchangeable by
-// construction, so the race is benign (and exercised under -race).
-var planCache sync.Map
+// defaultPlanCacheLimit bounds the plan cache at a size that comfortably
+// covers a campaign's handful of series lengths (plus the Bluestein
+// convolution lengths they pull in) while keeping a hostile mix of lengths —
+// every block a different series size — from pinning unbounded table memory.
+const defaultPlanCacheLimit = 64
+
+// planLRU is the size-bounded plan cache: a mutex-guarded map into an LRU
+// list, most recently used at the front. Evicting a plan is always safe —
+// plans are immutable, callers (and parent plans, via mr2/half pointers)
+// keep theirs alive, and a rebuilt plan is bit-identical by construction, so
+// eviction costs only rebuild time, never determinism.
+type planLRU struct {
+	mu    sync.Mutex
+	limit int // <= 0: unbounded
+	ll    list.List
+	byLen map[int]*list.Element
+}
+
+type planEntry struct {
+	n    int
+	plan *Plan
+}
+
+var planCache = planLRU{limit: defaultPlanCacheLimit, byLen: map[int]*list.Element{}}
+
+func (c *planLRU) get(n int) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byLen[n]; ok {
+		c.ll.MoveToFront(e)
+		return e.Value.(*planEntry).plan
+	}
+	return nil
+}
+
+// insert adds a freshly built plan, keeping the incumbent if a concurrent
+// builder won the race (plans of one length are interchangeable by
+// construction, so the race is benign — and exercised under -race).
+func (c *planLRU) insert(n int, p *Plan) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byLen[n]; ok {
+		c.ll.MoveToFront(e)
+		return e.Value.(*planEntry).plan
+	}
+	c.byLen[n] = c.ll.PushFront(&planEntry{n: n, plan: p})
+	c.evictOver()
+	return p
+}
+
+// evictOver drops least-recently-used entries past the limit. Callers hold mu.
+func (c *planLRU) evictOver() {
+	for c.limit > 0 && c.ll.Len() > c.limit {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.byLen, old.Value.(*planEntry).n)
+		if ins := activeInstruments.Load(); ins != nil {
+			ins.planEvictions.Inc()
+		}
+	}
+}
+
+func (c *planLRU) setLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = n
+	c.evictOver()
+}
+
+func (c *planLRU) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// SetPlanCacheLimit bounds how many plans PlanFor retains (default 64,
+// evicting least-recently-used). A limit <= 0 removes the bound. Shrinking
+// the limit evicts immediately; plans already handed out stay valid.
+func SetPlanCacheLimit(n int) { planCache.setLimit(n) }
+
+// PlanCacheSize reports how many plans the cache currently retains.
+func PlanCacheSize() int { return planCache.size() }
 
 // PlanFor returns the shared transform plan for series length n, building
 // and caching it on first use. Campaign series lengths repeat, so after
-// warm-up this is a single lock-free map hit.
+// warm-up this is a mutex-guarded map hit with no allocation; the cache is
+// LRU-bounded (SetPlanCacheLimit) so adversarial length mixes cost rebuild
+// time, not unbounded memory.
 func PlanFor(n int) *Plan {
 	if n < 0 {
 		panic(fmt.Sprintf("dsp: PlanFor(%d): negative length", n))
 	}
-	if v, ok := planCache.Load(n); ok {
-		return v.(*Plan)
+	if p := planCache.get(n); p != nil {
+		return p
 	}
-	p := newPlan(n)
-	if v, loaded := planCache.LoadOrStore(n, p); loaded {
-		return v.(*Plan)
-	}
-	return p
+	// Build outside the cache lock: newPlan recurses into PlanFor for the
+	// Bluestein convolution length and the packed-real half length.
+	return planCache.insert(n, newPlan(n))
 }
 
 func newPlan(n int) *Plan {

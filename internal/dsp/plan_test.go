@@ -1,6 +1,7 @@
 package dsp
 
 import (
+	"container/list"
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -221,5 +222,82 @@ func TestRealForwardDCAndNyquist(t *testing.T) {
 		if cmplx.Abs(got[k]) > 1e-9 {
 			t.Errorf("bin %d = %v, want 0 for constant input", k, got[k])
 		}
+	}
+}
+
+// TestPlanCacheLRUBound pins the cache's memory contract: the cache never
+// holds more than the configured number of plans, eviction is
+// least-recently-used, and an evicted length rebuilds to a bit-identical
+// plan (so eviction can never change results, only cost rebuild time).
+func TestPlanCacheLRUBound(t *testing.T) {
+	defer SetPlanCacheLimit(defaultPlanCacheLimit)
+
+	r := rand.New(rand.NewSource(99))
+	in := randReal(r, 48)
+	ref := PlanFor(48).RealForward(nil, in, nil)
+
+	SetPlanCacheLimit(4)
+	if got := PlanCacheSize(); got > 4 {
+		t.Fatalf("shrinking the limit left %d plans cached", got)
+	}
+	// Power-of-two lengths keep the recursion shallow: each PlanFor(n) here
+	// caches the plans for n and n/2.
+	for _, n := range []int{256, 512, 1024, 2048, 4096} {
+		PlanFor(n)
+		if got := PlanCacheSize(); got > 4 {
+			t.Fatalf("after PlanFor(%d): %d plans cached, limit 4", n, got)
+		}
+	}
+
+	// An evicted plan rebuilds bit-identically.
+	SetPlanCacheLimit(1)
+	PlanFor(4096) // certainly evicts 48
+	got := PlanFor(48).RealForward(nil, in, nil)
+	for k := range got {
+		if got[k] != ref[k] { //lint:allow floateq: rebuilt plans must be bit-identical to the evicted original
+			t.Fatalf("bin %d after rebuild: %v, want %v", k, got[k], ref[k])
+		}
+	}
+
+	// Unbounded mode accumulates freely.
+	SetPlanCacheLimit(0)
+	for n := 16; n <= 16+8; n++ {
+		PlanFor(n)
+	}
+	if got := PlanCacheSize(); got < 9 {
+		t.Fatalf("unbounded cache holds %d plans, want >= 9", got)
+	}
+}
+
+// TestPlanLRUEvictionOrder pins the replacement policy on the cache
+// structure itself (PlanFor's recursive sub-plan pulls make end-to-end
+// order assertions ambiguous): a get refreshes recency, and insertion past
+// the limit evicts the least recently used entry.
+func TestPlanLRUEvictionOrder(t *testing.T) {
+	c := planLRU{limit: 2, byLen: map[int]*list.Element{}}
+	pa, pb, pc := &Plan{n: 1}, &Plan{n: 2}, &Plan{n: 3}
+	c.insert(1, pa)
+	c.insert(2, pb)
+	c.get(1)        // 1 becomes most recent
+	c.insert(3, pc) // evicts 2, the LRU
+	if c.get(2) != nil {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if c.get(1) != pa || c.get(3) != pc {
+		t.Fatal("recently used entries evicted")
+	}
+	// Racing insert keeps the incumbent.
+	if got := c.insert(1, &Plan{n: 1}); got != pa {
+		t.Fatal("racing insert replaced the incumbent plan")
+	}
+}
+
+// TestPlanForHitPathAllocFree pins the steady-state cost of a cache hit:
+// lock, map lookup, list bump — no heap.
+func TestPlanForHitPathAllocFree(t *testing.T) {
+	PlanFor(96) // warm
+	avg := testing.AllocsPerRun(200, func() { PlanFor(96) })
+	if avg != 0 {
+		t.Fatalf("PlanFor cache hit allocates %.2f times, want 0", avg)
 	}
 }

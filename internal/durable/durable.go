@@ -1,0 +1,73 @@
+// Package durable implements the crash-safe file primitives the
+// checkpoint and write-ahead-log layers share: write-to-temp + fsync +
+// atomic rename, and directory fsync so the rename itself survives a power
+// cut. The contract is the standard one: after WriteFileAtomic returns nil,
+// a crash at any point leaves either the complete old content or the
+// complete new content at path — never a torn mix, never a missing file
+// where one existed.
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path crash-safely: the bytes go to a
+// sibling temp file, are fsynced, and are renamed over path; the parent
+// directory is then fsynced so the rename is durable. The temp file is
+// removed on any failure.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close() // best effort: the write error is the one to surface
+		_ = os.Remove(tmp)
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close() // best effort: the sync error is the one to surface
+		_ = os.Remove(tmp)
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("durable: %w", err)
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
+// SyncDir fsyncs a directory so a preceding create, rename, or remove in it
+// is durable. Some filesystems reject fsync on directories; that is
+// reported as an error rather than ignored, so callers on such filesystems
+// make an explicit decision instead of silently losing durability.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close() // best effort: the sync error is the one to surface
+		return fmt.Errorf("durable: sync %s: %w", dir, err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	return nil
+}
+
+// Rename renames old to new and fsyncs the destination directory, making
+// the rename durable — the segment-seal primitive of the write-ahead log.
+func Rename(oldPath, newPath string) error {
+	if err := os.Rename(oldPath, newPath); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	return SyncDir(filepath.Dir(newPath))
+}

@@ -1,0 +1,66 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1" {
+		t.Fatalf("read %q, want v1", got)
+	}
+
+	// Overwrite: the new content replaces the old atomically.
+	if err := WriteFileAtomic(path, []byte("v2 longer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2 longer" {
+		t.Fatalf("read %q, want v2 longer", got)
+	}
+
+	// No temp file left behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived: %v", err)
+	}
+}
+
+func TestWriteFileAtomicMissingDir(t *testing.T) {
+	err := WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("want error for missing parent directory")
+	}
+}
+
+func TestRenameDurable(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "seg.open")
+	newPath := filepath.Join(dir, "seg.wal")
+	if err := os.WriteFile(oldPath, []byte("records"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Rename(oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(oldPath); !os.IsNotExist(err) {
+		t.Fatalf("old path survived: %v", err)
+	}
+	got, err := os.ReadFile(newPath)
+	if err != nil || string(got) != "records" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+}

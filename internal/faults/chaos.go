@@ -1,0 +1,175 @@
+package faults
+
+// chaos.go — process-level faults for the monitor's crash harness. Where
+// faults.Injector perturbs the wire, a ChaosPlan perturbs the *process*:
+// kill a shard mid-round (panic between probing and commit), wedge a shard
+// so only the watchdog can recover it, or damage a WAL tail the way a
+// power cut does. Schedules are deterministic — (shard, round) pairs — and
+// each event fires on the first attempt only, so a crash-recovered replay
+// of the same round does not re-trigger its own killer.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// ShardRound schedules one chaos event: when the given shard reaches the
+// given round.
+type ShardRound struct {
+	Shard int
+	Round int
+}
+
+// ChaosPlan is a deterministic schedule of process-level faults. The zero
+// value (and a nil plan) injects nothing. Safe for concurrent use.
+type ChaosPlan struct {
+	// Kills panics the shard after it has probed the scheduled round but
+	// before the round commits — the worst in-process crash point: all of
+	// the round's work is lost and must be deterministically re-executed.
+	Kills []ShardRound
+	// Stalls wedge the shard at the start of the scheduled round until its
+	// supervisor aborts it (the watchdog path). A stalled shard ignores
+	// everything except abort/shutdown.
+	Stalls []ShardRound
+	// HardStalls wedge the shard beyond the reach of abort: only monitor
+	// shutdown releases it. This is the hard-wedge case that must escalate
+	// to monitor-fatal.
+	HardStalls []ShardRound
+
+	mu    sync.Mutex
+	fired map[ShardRound]int
+}
+
+// fire reports whether the event at (shard, round) is scheduled in table
+// and has not fired yet, marking it fired. The table index disambiguates
+// the three schedules sharing one fired map.
+func (p *ChaosPlan) fire(table []ShardRound, tag int, shard, round int) bool {
+	if p == nil || len(table) == 0 {
+		return false
+	}
+	key := ShardRound{Shard: shard, Round: round}
+	found := false
+	for _, e := range table {
+		if e == key {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fired == nil {
+		p.fired = make(map[ShardRound]int)
+	}
+	if p.fired[key]&(1<<tag) != 0 {
+		return false
+	}
+	p.fired[key] |= 1 << tag
+	return true
+}
+
+// ShouldKill reports (once) that the shard must crash after probing round.
+func (p *ChaosPlan) ShouldKill(shard, round int) bool { return p.fire(p.kills(), 0, shard, round) }
+
+// ShouldStall reports (once) that the shard must wedge at round start.
+func (p *ChaosPlan) ShouldStall(shard, round int) bool { return p.fire(p.stalls(), 1, shard, round) }
+
+// ShouldHardStall reports (once) that the shard must wedge beyond abort.
+func (p *ChaosPlan) ShouldHardStall(shard, round int) bool {
+	return p.fire(p.hardStalls(), 2, shard, round)
+}
+
+func (p *ChaosPlan) kills() []ShardRound {
+	if p == nil {
+		return nil
+	}
+	return p.Kills
+}
+
+func (p *ChaosPlan) stalls() []ShardRound {
+	if p == nil {
+		return nil
+	}
+	return p.Stalls
+}
+
+func (p *ChaosPlan) hardStalls() []ShardRound {
+	if p == nil {
+		return nil
+	}
+	return p.HardStalls
+}
+
+// Fired reports how many scheduled events have fired so far.
+func (p *ChaosPlan) Fired() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, bits := range p.fired {
+		for b := bits; b != 0; b >>= 1 {
+			n += int(b & 1)
+		}
+	}
+	return n
+}
+
+// CorruptFileTail flips one bit in each of the last n bytes of the file —
+// the signature of a torn write or media damage at the end of a log. The
+// flips are deterministic (bit i%8 of each byte), so a chaos run is exactly
+// reproducible. Files shorter than n are corrupted over their whole length.
+func CorruptFileTail(path string, n int) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("faults: corrupt tail: %w", err)
+	}
+	defer func() { _ = f.Close() }() // read-modify-write already synced below
+	info, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("faults: corrupt tail: %w", err)
+	}
+	size := info.Size()
+	if size == 0 {
+		return nil
+	}
+	if int64(n) > size {
+		n = int(size)
+	}
+	buf := make([]byte, n)
+	off := size - int64(n)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return fmt.Errorf("faults: corrupt tail: %w", err)
+	}
+	for i := range buf {
+		buf[i] ^= 1 << (i % 8)
+	}
+	if _, err := f.WriteAt(buf, off); err != nil {
+		return fmt.Errorf("faults: corrupt tail: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("faults: corrupt tail: %w", err)
+	}
+	return nil
+}
+
+// TruncateFileTail removes the last n bytes of the file — the torn-write
+// shape where the tail never reached the disk at all.
+func TruncateFileTail(path string, n int) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("faults: truncate tail: %w", err)
+	}
+	size := info.Size() - int64(n)
+	if size < 0 {
+		size = 0
+	}
+	if err := os.Truncate(path, size); err != nil {
+		return fmt.Errorf("faults: truncate tail: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestChaosPlanFiresOncePerEvent(t *testing.T) {
+	p := &ChaosPlan{
+		Kills:      []ShardRound{{Shard: 0, Round: 3}},
+		Stalls:     []ShardRound{{Shard: 0, Round: 3}}, // same key, distinct schedule
+		HardStalls: []ShardRound{{Shard: 1, Round: 0}},
+	}
+	if p.ShouldKill(0, 2) || p.ShouldKill(1, 3) {
+		t.Fatal("unscheduled (shard, round) fired")
+	}
+	if !p.ShouldKill(0, 3) {
+		t.Fatal("scheduled kill did not fire")
+	}
+	if p.ShouldKill(0, 3) {
+		t.Fatal("kill fired twice: a recovered replay of the round must survive")
+	}
+	// The stall at the same (shard, round) is independent of the kill.
+	if !p.ShouldStall(0, 3) || p.ShouldStall(0, 3) {
+		t.Fatal("stall schedule not independent of kill schedule")
+	}
+	if !p.ShouldHardStall(1, 0) || p.ShouldHardStall(1, 0) {
+		t.Fatal("hard stall did not fire exactly once")
+	}
+	if got := p.Fired(); got != 3 {
+		t.Fatalf("Fired() = %d, want 3", got)
+	}
+}
+
+func TestChaosPlanZeroAndNil(t *testing.T) {
+	var nilPlan *ChaosPlan
+	var zero ChaosPlan
+	for r := 0; r < 4; r++ {
+		if nilPlan.ShouldKill(0, r) || nilPlan.ShouldStall(0, r) || nilPlan.ShouldHardStall(0, r) {
+			t.Fatal("nil plan injected a fault")
+		}
+		if zero.ShouldKill(0, r) || zero.ShouldStall(0, r) || zero.ShouldHardStall(0, r) {
+			t.Fatal("zero plan injected a fault")
+		}
+	}
+	if nilPlan.Fired() != 0 || zero.Fired() != 0 {
+		t.Fatal("empty plans report fired events")
+	}
+}
+
+func TestCorruptFileTailDeterministic(t *testing.T) {
+	orig := []byte("0123456789abcdef")
+	write := func() string {
+		path := filepath.Join(t.TempDir(), "f")
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	p1, p2 := write(), write()
+	for _, p := range []string{p1, p2} {
+		if err := CorruptFileTail(p, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("corruption is not deterministic across runs")
+	}
+	if bytes.Equal(a, orig) {
+		t.Fatal("corruption changed nothing")
+	}
+	if !bytes.Equal(a[:len(a)-4], orig[:len(orig)-4]) {
+		t.Fatal("corruption reached beyond the tail")
+	}
+
+	// n larger than the file corrupts the whole file without error.
+	p3 := write()
+	if err := CorruptFileTail(p3, 1000); err != nil {
+		t.Fatal(err)
+	}
+	c, err := os.ReadFile(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != len(orig) || bytes.Equal(c[:4], orig[:4]) {
+		t.Fatal("oversized n did not clamp to the file length")
+	}
+}
+
+func TestTruncateFileTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateFileTail(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "0123456" {
+		t.Fatalf("after truncate: %q", got)
+	}
+	// Truncating more than remains clamps to empty.
+	if err := TruncateFileTail(path, 100); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("after over-truncate: %q", got)
+	}
+}

@@ -1,0 +1,86 @@
+package monitor
+
+import (
+	"context"
+	"testing"
+)
+
+// TestMonitorRoundAllocFree pins the warm hot path: with durability off, a
+// monitor round over a shard — probe every block through the shard's pooled
+// context, observe into the estimators, extend the preallocated series —
+// must not touch the heap. probeRound is exactly the per-round work; commit
+// and snapshot are the durable (and allocating) cold path by design.
+func TestMonitorRoundAllocFree(t *testing.T) {
+	cfg := baseConfig(testNet(8), 128)
+	cfg.Shards = 1
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.shards[0]
+	if err := s.rebuild(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm-up: the initial up transitions land in the event slices and the
+	// probe context grows its wire scratch here.
+	r := 0
+	roundOnce := func() {
+		s.probeRound(r)
+		r++
+	}
+	for i := 0; i < 4; i++ {
+		roundOnce()
+	}
+
+	avg := testing.AllocsPerRun(100, roundOnce)
+	if avg != 0 {
+		t.Fatalf("warm monitor round allocates %.2f times per 8-block round, want 0", avg)
+	}
+}
+
+// TestMonitorHeapIsWorkerBound pins the O(workers) steady-state memory
+// claim: probe scratch lives in one long-lived ProbeContext per shard, so a
+// 100x larger world must not change what the contexts retain, and the
+// prober's internal context pool must never be touched (the monitor threads
+// its own). The per-block series are the measurement output and necessarily
+// scale with the world — the bound under test is the probing machinery.
+func TestMonitorHeapIsWorkerBound(t *testing.T) {
+	measure := func(blocks int) (retained int, created int64) {
+		cfg := baseConfig(testNet(blocks), 2)
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("run over %d blocks not completed: %+v", blocks, res)
+		}
+		for _, s := range m.shards {
+			retained += s.pc.RetainedBytes()
+			created += s.prober.ContextsCreated()
+		}
+		return retained, created
+	}
+
+	small, createdSmall := measure(100)
+	big, createdBig := measure(10000)
+
+	if createdSmall != 0 || createdBig != 0 {
+		t.Errorf("prober context pool was touched (%d/%d contexts): shards must probe through their own context",
+			createdSmall, createdBig)
+	}
+	if small == 0 {
+		t.Fatal("contexts retain no scratch; the measurement is vacuous")
+	}
+	if big > small {
+		t.Fatalf("probe scratch grew with the world: %d bytes over 10000 blocks vs %d over 100", big, small)
+	}
+	const perShardCap = 64 << 10
+	if big > 4*perShardCap {
+		t.Fatalf("retained scratch %d bytes exceeds %d per shard", big, perShardCap)
+	}
+}

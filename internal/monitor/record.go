@@ -1,0 +1,197 @@
+package monitor
+
+// record.go — the serialized forms the WAL and snapshot files carry.
+//
+// A round record is self-contained: it holds the *post-round* state of
+// every block the shard probed (prober memory, estimator EWMAs, the Âs
+// value appended to the series, and any outage transition), so recovery is
+// latest snapshot + ordered replay of later records, with no dependence on
+// re-running probes for committed rounds. Snapshots reuse the WAL's frame
+// (header + one CRC-framed record), so one decoder — and one fuzz target —
+// covers both.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+
+	"sleepnet/internal/core"
+	"sleepnet/internal/durable"
+	"sleepnet/internal/netsim"
+	"sleepnet/internal/trinocular"
+)
+
+// Outage event codes in a blockDelta.
+const (
+	eventNone = 0
+	eventDown = 1 // up -> down transition this round
+	eventUp   = 2 // down -> up transition this round
+)
+
+// blockDelta is one block's post-round committed state.
+type blockDelta struct {
+	Prober trinocular.BlockState
+	Est    core.EstimatorState
+	// Short is the Âs value appended to the block's series this round.
+	Short float64
+	// Event is eventNone/eventDown/eventUp.
+	Event int
+	// Failed marks a round that produced no usable observation.
+	Failed bool
+}
+
+// walRecord is one committed shard round.
+type walRecord struct {
+	Round  int
+	Deltas []blockDelta
+}
+
+// blockSnapshot is one block's cumulative state at a snapshot boundary.
+type blockSnapshot struct {
+	ID     netsim.BlockID
+	Est    core.EstimatorState
+	Short  []float64
+	Events []core.OutageEvent
+	Failed int
+}
+
+// shardSnapshot is the full committed state of one shard after Round
+// rounds. Blocks and Prober are sorted by block id, so two snapshots of the
+// same state are byte-identical.
+type shardSnapshot struct {
+	Shard  int
+	Round  int // rounds covered: [0, Round)
+	Prober []trinocular.BlockState
+	Blocks []blockSnapshot
+}
+
+// encodeSnapshot frames a snapshot as a one-record segment image.
+func encodeSnapshot(s *shardSnapshot) ([]byte, error) {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: snapshot encode: %w", err)
+	}
+	hdr := encodeSegmentHeader(s.Shard)
+	return appendFrame(hdr[:], payload), nil
+}
+
+// decodeSnapshot parses a snapshot file image. Any damage — framing, CRC,
+// record count, or JSON — is ErrCorrupt: a snapshot is written atomically,
+// so unlike a WAL tail there is no benign way for one to be half-written.
+func decodeSnapshot(data []byte) (*shardSnapshot, error) {
+	_, recs, _, damage := decodeSegment(data)
+	if damage != nil {
+		return nil, damage
+	}
+	if len(recs) != 1 {
+		return nil, fmt.Errorf("monitor: snapshot has %d records, want 1: %w", len(recs), ErrCorrupt)
+	}
+	var s shardSnapshot
+	if err := json.Unmarshal(recs[0], &s); err != nil {
+		return nil, fmt.Errorf("monitor: snapshot decode: %v: %w", err, ErrCorrupt)
+	}
+	for i := 1; i < len(s.Blocks); i++ {
+		if s.Blocks[i].ID <= s.Blocks[i-1].ID {
+			return nil, fmt.Errorf("monitor: snapshot blocks out of order: %w", ErrCorrupt)
+		}
+	}
+	if s.Round < 0 {
+		return nil, fmt.Errorf("monitor: snapshot round %d negative: %w", s.Round, ErrCorrupt)
+	}
+	return &s, nil
+}
+
+// decodeRecord parses one WAL round-record payload, with the structural
+// checks the replay path relies on.
+func decodeRecord(payload []byte) (*walRecord, error) {
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, fmt.Errorf("monitor: record decode: %v: %w", err, ErrCorrupt)
+	}
+	if rec.Round < 0 {
+		return nil, fmt.Errorf("monitor: record round %d negative: %w", rec.Round, ErrCorrupt)
+	}
+	return &rec, nil
+}
+
+// ErrMismatch reports a WAL directory written by a different campaign
+// (seed, schedule, or block set): resuming from it would splice two
+// incompatible histories.
+var ErrMismatch = errors.New("monitor: wal belongs to a different campaign")
+
+// walMeta identifies the campaign a WAL directory belongs to.
+type walMeta struct {
+	Magic      string
+	Version    int
+	Seed       uint64
+	StartNanos int64
+	PeriodNs   int64
+	Rounds     int
+	Shards     int
+	NumBlocks  int
+	BlocksCRC  uint32
+}
+
+const metaMagic = "SLPMON01"
+
+// blocksCRC fingerprints the monitored block set (order-sensitive over the
+// sorted ids).
+func blocksCRC(ids []netsim.BlockID) uint32 {
+	var buf [4]byte
+	crc := crc32.Checksum(nil, castagnoli)
+	for _, id := range ids {
+		binary.BigEndian.PutUint32(buf[:], uint32(id))
+		crc = crc32.Update(crc, castagnoli, buf[:])
+	}
+	return crc
+}
+
+func (m *walMeta) equal(o *walMeta) bool {
+	return m.Magic == o.Magic && m.Version == o.Version && m.Seed == o.Seed &&
+		m.StartNanos == o.StartNanos && m.PeriodNs == o.PeriodNs &&
+		m.Rounds == o.Rounds && m.Shards == o.Shards &&
+		m.NumBlocks == o.NumBlocks && m.BlocksCRC == o.BlocksCRC
+}
+
+// checkOrWriteMeta guards a WAL root: a fresh directory gets the campaign's
+// identity written atomically; an existing one must match it exactly.
+func checkOrWriteMeta(path string, want walMeta) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		out, merr := json.Marshal(want)
+		if merr != nil {
+			return fmt.Errorf("monitor: meta encode: %w", merr)
+		}
+		return durable.WriteFileAtomic(path, out, 0o644)
+	}
+	if err != nil {
+		return fmt.Errorf("monitor: meta: %w", err)
+	}
+	var got walMeta
+	if uerr := json.Unmarshal(data, &got); uerr != nil {
+		return fmt.Errorf("monitor: meta decode: %v: %w", uerr, ErrCorrupt)
+	}
+	if !got.equal(&want) {
+		return fmt.Errorf("monitor: meta %s: %w", path, ErrMismatch)
+	}
+	return nil
+}
+
+// metaFor builds the identity record for a monitor configuration.
+func metaFor(seed uint64, start time.Time, period time.Duration, rounds, shards int, ids []netsim.BlockID) walMeta {
+	return walMeta{
+		Magic:      metaMagic,
+		Version:    walVersion,
+		Seed:       seed,
+		StartNanos: start.UnixNano(),
+		PeriodNs:   int64(period),
+		Rounds:     rounds,
+		Shards:     shards,
+		NumBlocks:  len(ids),
+		BlocksCRC:  blocksCRC(ids),
+	}
+}

@@ -1,0 +1,70 @@
+package monitor
+
+// study.go — the deterministic export of a completed monitoring campaign.
+// A Study is derived ONLY from committed per-block state, so two runs that
+// commit the same rounds — one uninterrupted, one crash-recovered — encode
+// to identical bytes. That byte-equality is the chaos harness's oracle.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sleepnet/internal/core"
+)
+
+// StudyBlock is one block's complete campaign record.
+type StudyBlock struct {
+	ID string `json:"id"`
+	// Short is the Âs series, one value per round.
+	Short []float64 `json:"short"`
+	// Events are the prober's outage transitions.
+	Events []core.OutageEvent `json:"events,omitempty"`
+	// Estimator is the final EWMA state.
+	Estimator core.EstimatorState `json:"estimator"`
+	// FailedRounds counts rounds with no usable observation.
+	FailedRounds int `json:"failed_rounds,omitempty"`
+}
+
+// Study is the campaign's exported result, blocks sorted by id.
+type Study struct {
+	Seed   uint64       `json:"seed"`
+	Rounds int          `json:"rounds"`
+	Blocks []StudyBlock `json:"blocks"`
+}
+
+// Study exports the campaign result. It is only defined for completed runs:
+// a drained or halted run has committed state on disk but no full series to
+// report — resume it (same WALDir) to completion first.
+func (r *Result) Study() (*Study, error) {
+	if !r.Completed {
+		return nil, fmt.Errorf("monitor: study requires a completed run")
+	}
+	var st *Study
+	for _, s := range r.shards {
+		if st == nil {
+			st = &Study{Seed: s.m.cfg.Seed, Rounds: s.m.cfg.Rounds}
+		}
+		// Shards hold contiguous slices of the global sorted order, so
+		// walking them in index order yields globally sorted blocks.
+		for _, mon := range s.mons {
+			st.Blocks = append(st.Blocks, StudyBlock{
+				ID:           mon.id.String(),
+				Short:        mon.short,
+				Events:       mon.events,
+				Estimator:    mon.est.State(),
+				FailedRounds: mon.failed,
+			})
+		}
+	}
+	return st, nil
+}
+
+// Encode serializes the study deterministically (indented JSON; float
+// formatting in encoding/json is bit-exact for identical values).
+func (s *Study) Encode() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("monitor: study encode: %w", err)
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,307 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sleepnet/internal/faults"
+)
+
+func testMetrics() *monitorMetrics { return &monitorMetrics{} }
+
+// readAll decodes every segment of a shard dir in order and returns the
+// concatenated record payloads.
+func readAll(t *testing.T, dir string) [][]byte {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]byte
+	for _, sf := range segs {
+		data, err := os.ReadFile(sf.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, recs, _, damage := decodeSegment(data)
+		if damage != nil {
+			t.Fatalf("segment %s damaged: %v", sf.path, damage)
+		}
+		out = append(out, recs...)
+	}
+	return out
+}
+
+func TestWALRoundTripWithRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segment bound forces several rotations.
+	w, err := newWALWriter(dir, 3, 0, 128, false, testMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		p := []byte(fmt.Sprintf(`{"round":%d,"payload":"abcdefghij"}`, i))
+		want = append(want, p)
+		if err := w.append(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected several sealed segments, got %d", len(segs))
+	}
+	for _, sf := range segs {
+		if !sf.sealed {
+			t.Fatalf("segment %s left unsealed after close", sf.path)
+		}
+	}
+	got := readAll(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWALGC(t *testing.T) {
+	dir := t.TempDir()
+	w, err := newWALWriter(dir, 0, 0, 64, false, testMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.append([]byte(`{"r":1234567890}`), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sealedBefore := len(w.sealedMax)
+	if sealedBefore < 2 {
+		t.Fatalf("expected rotations before gc, sealed=%d", sealedBefore)
+	}
+	// A snapshot covering every round lets gc delete all sealed segments.
+	w.gc(9)
+	if len(w.sealedMax) != 0 {
+		t.Fatalf("gc left %d sealed segments registered", len(w.sealedMax))
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sf := range segs {
+		if sf.sealed {
+			t.Fatalf("sealed segment %s survived full gc", sf.path)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	w, err := newWALWriter(dir, 1, 0, 1<<20, false, testMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := [][]byte{[]byte(`{"a":1}`), []byte(`{"b":2}`), []byte(`{"c":3}`)}
+	for i, p := range recs {
+		if err := w.append(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.abandon() // simulated kill: no seal
+
+	segPath := filepath.Join(dir, segName(0, false))
+	for _, corrupt := range []func() error{
+		func() error { return faults.TruncateFileTail(segPath, 3) },
+		func() error { return faults.CorruptFileTail(segPath, 2) },
+	} {
+		if err := corrupt(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(segPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard, got, _, damage := decodeSegment(data)
+		if damage == nil {
+			t.Fatal("tail damage went undetected")
+		}
+		if !errors.Is(damage, ErrCorrupt) {
+			t.Fatalf("damage %v is not ErrCorrupt", damage)
+		}
+		if shard != 1 {
+			t.Fatalf("shard = %d, want 1", shard)
+		}
+		// The intact prefix must survive: records 0 and 1.
+		if len(got) != 2 || !bytes.Equal(got[0], recs[0]) || !bytes.Equal(got[1], recs[1]) {
+			t.Fatalf("intact prefix lost: %q", got)
+		}
+	}
+}
+
+func TestDecodeSegmentDamageTyped(t *testing.T) {
+	valid := encodeValidSegment(7, [][]byte{[]byte(`{"x":1}`), []byte(`{"y":2}`)})
+
+	cases := map[string][]byte{
+		"empty":            {},
+		"header truncated": valid[:10],
+		"bad magic":        append([]byte("NOTAWAL0"), valid[8:]...),
+		"bad version": func() []byte {
+			b := append([]byte(nil), valid...)
+			binary.BigEndian.PutUint32(b[8:12], 99)
+			return b
+		}(),
+		"torn frame": valid[:len(valid)-3],
+		"crc flip": func() []byte {
+			b := append([]byte(nil), valid...)
+			b[len(b)-1] ^= 0x40
+			return b
+		}(),
+		"giant length": func() []byte {
+			b := append([]byte(nil), valid[:walHeaderSize]...)
+			var f [8]byte
+			binary.BigEndian.PutUint32(f[0:4], maxRecordSize+1)
+			return append(b, f[:]...)
+		}(),
+	}
+	for name, data := range cases {
+		_, _, _, damage := decodeSegment(data)
+		if damage == nil {
+			t.Errorf("%s: no damage reported", name)
+			continue
+		}
+		if !errors.Is(damage, ErrCorrupt) {
+			t.Errorf("%s: %v is not ErrCorrupt", name, damage)
+		}
+	}
+
+	// The undamaged image decodes fully.
+	shard, recs, off, damage := decodeSegment(valid)
+	if damage != nil || shard != 7 || len(recs) != 2 || off != int64(len(valid)) {
+		t.Fatalf("valid image: shard=%d recs=%d off=%d damage=%v", shard, len(recs), off, damage)
+	}
+}
+
+func encodeValidSegment(shard int, recs [][]byte) []byte {
+	hdr := encodeSegmentHeader(shard)
+	out := append([]byte(nil), hdr[:]...)
+	for _, p := range recs {
+		out = appendFrame(out, p)
+	}
+	return out
+}
+
+func TestParseSegName(t *testing.T) {
+	cases := []struct {
+		name   string
+		seq    int
+		sealed bool
+		ok     bool
+	}{
+		{"seg-00000000.wal", 0, true, true},
+		{"seg-00000042.open", 42, false, true},
+		{"seg-1.wal", 1, true, true},
+		{"snap.json", 0, false, false},
+		{"seg-.wal", 0, false, false},
+		{"seg--1.wal", 0, false, false},
+		{"seg-00000001.tmp", 0, false, false},
+	}
+	for _, c := range cases {
+		seq, sealed, ok := parseSegName(c.name)
+		if ok != c.ok || (ok && (seq != c.seq || sealed != c.sealed)) {
+			t.Errorf("parseSegName(%q) = (%d,%v,%v), want (%d,%v,%v)",
+				c.name, seq, sealed, ok, c.seq, c.sealed, c.ok)
+		}
+	}
+}
+
+func TestSnapshotRoundTripAndDamage(t *testing.T) {
+	snap := &shardSnapshot{Shard: 2, Round: 5}
+	data, err := encodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shard != 2 || got.Round != 5 {
+		t.Fatalf("round-trip = %+v", got)
+	}
+
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x01
+		if _, err := decodeSnapshot(mut); err == nil {
+			// A flip inside the shard-id header field changes the decoded
+			// shard but stays structurally valid; every other byte is
+			// covered by magic, version, length, or CRC checks.
+			if i < 12 || i >= walHeaderSize {
+				t.Errorf("bit flip at byte %d went undetected", i)
+			}
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("flip at %d: %v is not ErrCorrupt", i, err)
+		}
+	}
+}
+
+// FuzzWALDecode is the decoder's no-panic/typed-error contract: arbitrary
+// bytes fed to the segment and snapshot decoders must produce either a
+// clean decode or an error chained to ErrCorrupt — never a panic, never an
+// unbounded allocation, never an untyped failure. Seeds cover the known
+// crash shapes (torn tail, bit flip, truncated header, hostile length
+// field); new crashers found by fuzzing land in testdata/fuzz as
+// regression seeds automatically.
+func FuzzWALDecode(f *testing.F) {
+	valid := encodeValidSegment(1, [][]byte{[]byte(`{"Round":0,"Deltas":[]}`)})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-4]) // torn tail
+	f.Add(valid[:12])           // truncated header
+	f.Add([]byte{})
+	flip := append([]byte(nil), valid...)
+	flip[walHeaderSize+2] ^= 0x10
+	f.Add(flip)
+	hostile := append([]byte(nil), valid[:walHeaderSize]...)
+	hostile = append(hostile, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0)
+	f.Add(hostile) // length field claims 4 GiB
+	snap, err := encodeSnapshot(&shardSnapshot{Shard: 0, Round: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(snap)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, recs, off, damage := decodeSegment(data)
+		if damage != nil && !errors.Is(damage, ErrCorrupt) {
+			t.Fatalf("segment damage not typed: %v", damage)
+		}
+		if off > int64(len(data)) {
+			t.Fatalf("offset %d past input length %d", off, len(data))
+		}
+		for _, r := range recs {
+			if _, err := decodeRecord(r); err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("record error not typed: %v", err)
+			}
+		}
+		if _, err := decodeSnapshot(data); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("snapshot error not typed: %v", err)
+		}
+	})
+}

@@ -85,6 +85,16 @@ type ReplyBuffer struct {
 	ip   []byte
 }
 
+// RetainedBytes reports the heap bytes the buffer currently retains across
+// calls — what a long-lived prober worker holds onto per reply buffer. The
+// monitor's O(workers) memory contract is pinned against this.
+func (rb *ReplyBuffer) RetainedBytes() int {
+	if rb == nil {
+		return 0
+	}
+	return cap(rb.icmp) + cap(rb.ip)
+}
+
 // icmpScratch returns the empty ICMP-layer scratch to append into, or nil
 // (allocate fresh) when no buffer is in play.
 func (rb *ReplyBuffer) icmpScratch() []byte {

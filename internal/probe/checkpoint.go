@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sleepnet/internal/core"
+	"sleepnet/internal/durable"
 	"sleepnet/internal/netsim"
 	"sleepnet/internal/trinocular"
 )
@@ -83,8 +84,10 @@ type checkpoint struct {
 	Blocks    []checkpointBlock `json:"blocks"`
 }
 
-// save writes the campaign state atomically (temp file + rename), so a kill
-// mid-write leaves the previous checkpoint intact.
+// save writes the campaign state crash-safely (temp file, fsync, atomic
+// rename, directory fsync), so neither a kill mid-write nor a power cut
+// straight after can leave a torn or missing checkpoint — the previous one
+// stays intact until the new one is durably in place.
 func (s *Supervisor) save(prober *trinocular.Prober, results map[netsim.BlockID]*BlockResult, breakers map[netsim.BlockID]*breaker, nextRound int) error {
 	ck := checkpoint{
 		Version:   checkpointVersion,
@@ -120,11 +123,7 @@ func (s *Supervisor) save(prober *trinocular.Prober, results map[netsim.BlockID]
 	if err != nil {
 		return fmt.Errorf("probe: checkpoint: %w", err)
 	}
-	tmp := s.CheckpointPath + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("probe: checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, s.CheckpointPath); err != nil {
+	if err := durable.WriteFileAtomic(s.CheckpointPath, data, 0o644); err != nil {
 		return fmt.Errorf("probe: checkpoint: %w", err)
 	}
 	stop()

@@ -226,14 +226,29 @@ type blockState struct {
 	// outage log with false positives. Recovery needs no debounce — a
 	// positive response is near-conclusive evidence of up.
 	downStreak int
+}
 
-	// Per-block wire scratch: the marshalled echo, its IPv4 encapsulation,
-	// and the network's reply all reuse these buffers round after round, so
-	// a probe allocates nothing after the first round trip. Safe because
-	// rounds for one block never run concurrently (see Prober).
+// ProbeContext is the reusable wire scratch one probing worker threads
+// through its rounds: the marshalled echo, its IPv4 encapsulation, and the
+// network's reply buffer. It used to live inside blockState, which retained
+// three grown buffers per tracked block — O(blocks) steady-state memory. A
+// context belongs to one worker at a time (rounds sharing a context must not
+// run concurrently), so a monitor over a million blocks retains O(workers)
+// probe-context bytes, not O(blocks).
+type ProbeContext struct {
 	echoBuf []byte
 	pktBuf  []byte
 	reply   netsim.ReplyBuffer
+}
+
+// NewProbeContext returns an empty context; buffers grow on first use and
+// are reused afterwards.
+func NewProbeContext() *ProbeContext { return &ProbeContext{} }
+
+// RetainedBytes reports the heap bytes the context currently retains — the
+// quantity the monitor's O(workers) memory contract is pinned against.
+func (pc *ProbeContext) RetainedBytes() int {
+	return cap(pc.echoBuf) + cap(pc.pktBuf) + pc.reply.RetainedBytes()
 }
 
 // Prober drives adaptive probing over a set of blocks. After all blocks
@@ -250,6 +265,14 @@ type Prober struct {
 	epoch     time.Time // established on first round; restart phase reference
 	epochOnce sync.Once
 	states    map[netsim.BlockID]*blockState
+
+	// ctxMu guards the free-list of pooled probe contexts backing the
+	// context-less ProbeRound entry point. A plain free-list (not a
+	// sync.Pool) so the retained set is never GC-cleared and stays exactly
+	// at the peak number of concurrent rounds — the O(workers) bound.
+	ctxMu      sync.Mutex
+	ctxFree    []*ProbeContext
+	ctxCreated int64
 
 	probesSent atomic.Int64
 	m          proberMetrics
@@ -371,10 +394,54 @@ func (p *Prober) inDowntimeWindow(id netsim.BlockID) bool {
 	return off < p.cfg.RestartDowntimeFrac
 }
 
+// getContext borrows a pooled probe context, creating one only when every
+// pooled context is already in flight.
+func (p *Prober) getContext() *ProbeContext {
+	p.ctxMu.Lock()
+	defer p.ctxMu.Unlock()
+	if n := len(p.ctxFree); n > 0 {
+		pc := p.ctxFree[n-1]
+		p.ctxFree[n-1] = nil
+		p.ctxFree = p.ctxFree[:n-1]
+		return pc
+	}
+	p.ctxCreated++
+	return NewProbeContext()
+}
+
+// putContext returns a borrowed context to the pool.
+func (p *Prober) putContext(pc *ProbeContext) {
+	p.ctxMu.Lock()
+	p.ctxFree = append(p.ctxFree, pc)
+	p.ctxMu.Unlock()
+}
+
+// ContextsCreated reports how many probe contexts the internal pool has ever
+// built: with k workers calling ProbeRound concurrently it converges to k
+// regardless of how many blocks are tracked. Callers that thread their own
+// context through ProbeRoundWith never touch the pool.
+func (p *Prober) ContextsCreated() int64 {
+	p.ctxMu.Lock()
+	defer p.ctxMu.Unlock()
+	return p.ctxCreated
+}
+
 // ProbeRound probes one block once, at virtual time now, using the caller's
 // current operational availability estimate aOp (clamped to [0.1, 1] as the
-// paper's policy requires). It returns the round's biased observation.
+// paper's policy requires). It returns the round's biased observation. Wire
+// scratch comes from the prober's internal context pool; workers that own a
+// long-lived context should call ProbeRoundWith instead.
 func (p *Prober) ProbeRound(id netsim.BlockID, now time.Time, aOp float64) (RoundObs, error) {
+	pc := p.getContext()
+	defer p.putContext(pc)
+	return p.ProbeRoundWith(pc, id, now, aOp)
+}
+
+// ProbeRoundWith is ProbeRound with caller-owned wire scratch: the monitor's
+// shards each hold one ProbeContext for the lifetime of the shard, so probing
+// a million blocks retains O(shards) buffer bytes. The context must not be
+// shared with a concurrently probing worker.
+func (p *Prober) ProbeRoundWith(pc *ProbeContext, id netsim.BlockID, now time.Time, aOp float64) (RoundObs, error) {
 	st, ok := p.states[id]
 	if !ok {
 		return RoundObs{}, fmt.Errorf("trinocular: block %s not tracked", id)
@@ -419,7 +486,7 @@ probing:
 		host := st.walk[st.pos]
 		st.pos = (st.pos + 1) % len(st.walk)
 		st.seq++
-		outcome := p.sendProbe(st, host, now.Add(backoffUsed))
+		outcome := p.sendProbe(pc, st, host, now.Add(backoffUsed))
 		for attempt := 1; outcome == outcomeSendError && attempt < p.cfg.Retry.MaxAttempts; attempt++ {
 			d := p.cfg.Retry.delay(attempt)
 			if p.cfg.Retry.JitterFrac > 0 {
@@ -432,7 +499,7 @@ probing:
 			backoffUsed += d
 			obs.Retries++
 			st.seq++
-			outcome = p.sendProbe(st, host, now.Add(backoffUsed))
+			outcome = p.sendProbe(pc, st, host, now.Add(backoffUsed))
 		}
 		switch outcome {
 		case outcomeSendError:
@@ -530,12 +597,13 @@ const (
 // sendProbe emits one IPv4-encapsulated ICMP echo and classifies the
 // answer: a matching echo reply from the probed address is positive; a
 // destination-unreachable quoting our probe is an informative negative;
-// anything else (timeout, malformed, mismatched) counts as silence.
-func (p *Prober) sendProbe(st *blockState, host byte, now time.Time) probeOutcome {
+// anything else (timeout, malformed, mismatched) counts as silence. Wire
+// scratch comes from the worker's ProbeContext, not the block.
+func (p *Prober) sendProbe(pc *ProbeContext, st *blockState, host byte, now time.Time) probeOutcome {
 	target := st.id.Addr(host)
 	echo := icmp.Echo{ID: p.cfg.ProbeID, Seq: st.seq}
-	echoPkt, err := echo.MarshalAppend(st.echoBuf[:0])
-	st.echoBuf = echoPkt
+	echoPkt, err := echo.MarshalAppend(pc.echoBuf[:0])
+	pc.echoBuf = echoPkt
 	if err != nil {
 		return outcomeNegative
 	}
@@ -546,8 +614,8 @@ func (p *Prober) sendProbe(st *blockState, host byte, now time.Time) probeOutcom
 		Src:      p.cfg.SrcIP,
 		Dst:      ipv4.Addr(target.IP()),
 	}
-	pkt, err := hdr.MarshalAppend(st.pktBuf[:0], echoPkt)
-	st.pktBuf = pkt
+	pkt, err := hdr.MarshalAppend(pc.pktBuf[:0], echoPkt)
+	pc.pktBuf = pkt
 	if err != nil {
 		return outcomeNegative
 	}
@@ -555,9 +623,9 @@ func (p *Prober) sendProbe(st *blockState, host byte, now time.Time) probeOutcom
 	p.m.probes.Inc()
 	var resp netsim.Response
 	if p.bufNet != nil {
-		// resp.Data aliases st.reply: valid until this block's next probe,
+		// resp.Data aliases pc.reply: valid until this context's next probe,
 		// which is after every use below.
-		resp = p.bufNet.DeliverIPInto(&st.reply, pkt, now)
+		resp = p.bufNet.DeliverIPInto(&pc.reply, pkt, now)
 	} else {
 		resp = p.net.DeliverIP(pkt, now)
 	}
@@ -679,6 +747,25 @@ func (p *Prober) ExportState() State {
 	}
 	sort.Slice(s.Blocks, func(i, j int) bool { return s.Blocks[i].ID < s.Blocks[j].ID })
 	return s
+}
+
+// BlockStateOf snapshots one block's serializable prober memory — the
+// allocation-free per-block form of ExportState, used by the monitor's WAL
+// to log exactly the blocks a shard round touched.
+func (p *Prober) BlockStateOf(id netsim.BlockID) (BlockState, bool) {
+	st, ok := p.states[id]
+	if !ok {
+		return BlockState{}, false
+	}
+	return BlockState{
+		ID:         id,
+		Belief:     st.belief,
+		Up:         st.up,
+		Round:      st.round,
+		Pos:        st.pos,
+		Seq:        st.seq,
+		DownStreak: st.downStreak,
+	}, true
 }
 
 // RestoreState loads a snapshot taken by ExportState. Every snapshotted
