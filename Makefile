@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint check fuzz fuzz-rdns fuzz-wal monitor-chaos bench benchdiff
+.PHONY: all build vet test race lint check fuzz fuzz-rdns fuzz-wal fuzz-serve monitor-chaos serve-chaos bench benchdiff loadgen
 
 all: check
 
@@ -43,12 +43,31 @@ fuzz-rdns:
 fuzz-wal:
 	$(GO) test -run=^$$ -fuzz=FuzzWALDecode -fuzztime=30s ./internal/monitor
 
+# fuzz-serve fuzzes the HTTP query parser: arbitrary paths and query
+# strings must yield either a typed ErrBadRequest or a valid Request,
+# never a panic.
+fuzz-serve:
+	$(GO) test -run=^$$ -fuzz=FuzzParseRequest -fuzztime=30s ./internal/serve
+
 # monitor-chaos runs the crash-recovery acceptance property under the race
 # detector: injected shard kills, WAL tail corruption, a hard halt, and a
 # SIGTERM drain must all converge to a study byte-identical to an
 # uninterrupted same-seed run.
 monitor-chaos:
 	$(GO) test -race -count=1 -run='TestChaosEquivalence|TestGracefulDrainAndResume|TestSIGTERMSoakDrainsCleanly|TestHaltAndResumeFromWAL' ./internal/monitor
+
+# serve-chaos runs the serving-layer acceptance property under the race
+# detector: slow-loris, floods, connection churn, and malformed requests
+# against a live monitored campaign must lose zero probe rounds, keep the
+# study byte-identical to an unattacked run, and keep lookup p99 bounded
+# while lower-priority classes shed.
+serve-chaos:
+	$(GO) test -race -count=1 -run='TestServeChaosAcceptance' ./internal/serve
+
+# loadgen measures sustained live-socket queries/s against a self-hosted
+# 1M-block epoch (see cmd/loadgen for targeting a running server).
+loadgen:
+	$(GO) run ./cmd/loadgen -duration 3s
 
 # bench runs the top-level paper benchmarks and persists the parsed
 # measurements (ns/op, B/op, allocs/op per benchmark) for cross-commit
@@ -60,12 +79,17 @@ monitor-chaos:
 # with benchdiff. Refreshing the baseline is a deliberate act: rerun on a
 # quiet host with BENCH_OUT=BENCH_seed.json and commit the diff explicitly.
 BENCHTIME ?= 300ms
-BENCH_OUT ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr7.json
+# BENCH_RUNS > 1 repeats every benchmark (go test -count) and records the
+# per-metric median plus the ns/op spread — use it when the host is noisy.
+BENCH_RUNS ?= 1
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -o $(BENCH_OUT)
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCH_RUNS) . | $(GO) run ./cmd/benchjson -benchtime $(BENCHTIME) -runs $(BENCH_RUNS) -o $(BENCH_OUT)
 
 # benchdiff compares a fresh benchmark run against the committed seed
 # baseline and exits nonzero when any shared benchmark regressed more than
-# 10% on ns/op, B/op, or allocs/op.
+# 10% on ns/op, B/op, or allocs/op. Increases under BENCH_NOISE_NS ns/op
+# are never flagged regardless of ratio (absolute noise floor).
+BENCH_NOISE_NS ?= 50
 benchdiff:
-	$(GO) run ./cmd/benchjson -diff BENCH_seed.json $(BENCH_OUT)
+	$(GO) run ./cmd/benchjson -diff -noise-ns $(BENCH_NOISE_NS) BENCH_seed.json $(BENCH_OUT)

@@ -8,10 +8,23 @@
 //	go test -run='^$' -bench=. -benchmem -benchtime=300ms . | \
 //	    benchjson -benchtime 300ms -o BENCH_pr5.json
 //
+// With -runs N (pair it with `go test -count=N`) collect mode takes the
+// per-metric MEDIAN across the N samples of each benchmark instead of
+// keeping the last line, and records the ns/op spread (max-min) so a noisy
+// host is visible in the artifact:
+//
+//	go test -run='^$' -bench=. -benchmem -count=5 . | \
+//	    benchjson -runs 5 -o BENCH_pr7.json
+//
 // Diff mode compares two collected files and exits nonzero when any shared
 // benchmark regressed beyond the allowed ratio on any metric:
 //
 //	benchjson -diff -threshold 1.10 BENCH_seed.json BENCH_pr5.json
+//
+// -noise-ns sets an absolute noise floor for diff mode: an ns/op increase
+// smaller than this many ns/op is never flagged, however large its ratio —
+// sub-floor benchmarks are timer-noise-dominated and their ratios are not
+// meaningful.
 //
 // Collect mode writes the current schema, an object with a "benchtime"
 // field recording the -benchtime the run used and a "benchmarks" map:
@@ -41,12 +54,16 @@ type result struct {
 	NsPerOp     float64  `json:"ns_per_op"`
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// NsSpread is max-min ns/op across the -runs samples (multi-run mode
+	// only): the host's noise, recorded next to the median it surrounds.
+	NsSpread *float64 `json:"ns_spread,omitempty"`
 }
 
 // benchFile is the collected-output schema: run metadata plus the per-
 // benchmark measurements.
 type benchFile struct {
 	Benchtime  string            `json:"benchtime,omitempty"`
+	Runs       int               `json:"runs,omitempty"`
 	Benchmarks map[string]result `json:"benchmarks"`
 }
 
@@ -58,6 +75,8 @@ func main() {
 	thresholdNs := flag.Float64("threshold-ns", 0, "override -threshold for ns/op (diff mode; 0 inherits)")
 	thresholdBytes := flag.Float64("threshold-bytes", 0, "override -threshold for B/op (diff mode; 0 inherits)")
 	thresholdAllocs := flag.Float64("threshold-allocs", 0, "override -threshold for allocs/op (diff mode; 0 inherits)")
+	runs := flag.Int("runs", 1, "samples per benchmark to expect on stdin; >1 takes medians (collect mode, pair with go test -count)")
+	noiseNs := flag.Float64("noise-ns", 0, "ignore ns/op increases smaller than this many ns/op (diff mode noise floor)")
 	flag.Parse()
 
 	if *diff {
@@ -71,9 +90,10 @@ func main() {
 			return *threshold
 		}
 		regressed, err := runDiff(flag.Arg(0), flag.Arg(1), thresholds{
-			ns:     inherit(*thresholdNs),
-			bytes:  inherit(*thresholdBytes),
-			allocs: inherit(*thresholdAllocs),
+			ns:      inherit(*thresholdNs),
+			bytes:   inherit(*thresholdBytes),
+			allocs:  inherit(*thresholdAllocs),
+			noiseNs: *noiseNs,
 		})
 		fatal(err)
 		if regressed {
@@ -82,13 +102,14 @@ func main() {
 		return
 	}
 
-	collect(*out, *benchtime)
+	collect(*out, *benchtime, *runs)
 }
 
 // collect parses `go test -bench` output on stdin and writes the JSON
-// document to out (or stdout when empty).
-func collect(out, benchtime string) {
-	results := map[string]result{}
+// document to out (or stdout when empty). With runs > 1 every benchmark's
+// samples are reduced to their per-metric median.
+func collect(out, benchtime string, runs int) {
+	samples := map[string][]result{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -99,27 +120,35 @@ func collect(out, benchtime string) {
 		}
 		name, res, ok := parseBenchLine(line)
 		if ok {
-			results[name] = res
+			samples[name] = append(samples[name], res)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fatal(err)
 	}
-	if len(results) == 0 {
+	if len(samples) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found on stdin"))
 	}
-
-	// A sorted map keyed by name serializes deterministically.
-	names := make([]string, 0, len(results))
-	for n := range results {
+	// A sorted map keyed by name serializes (and warns) deterministically.
+	names := make([]string, 0, len(samples))
+	for n := range samples {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	ordered := make(map[string]result, len(results))
-	for _, n := range names {
-		ordered[n] = results[n]
+	ordered := make(map[string]result, len(samples))
+	for _, name := range names {
+		ss := samples[name]
+		if runs > 1 && len(ss) != runs {
+			fmt.Fprintf(os.Stderr, "benchjson: %s has %d samples, expected %d (medians taken over what arrived)\n",
+				name, len(ss), runs)
+		}
+		ordered[name] = reduceSamples(ss, runs > 1)
 	}
-	data, err := json.MarshalIndent(benchFile{Benchtime: benchtime, Benchmarks: ordered}, "", "  ")
+	fileRuns := 0
+	if runs > 1 {
+		fileRuns = runs
+	}
+	data, err := json.MarshalIndent(benchFile{Benchtime: benchtime, Runs: fileRuns, Benchmarks: ordered}, "", "  ")
 	fatal(err)
 	data = append(data, '\n')
 
@@ -129,7 +158,7 @@ func collect(out, benchtime string) {
 		return
 	}
 	fatal(os.WriteFile(out, data, 0o644))
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), out)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(ordered), out)
 }
 
 // parseBenchLine parses one `BenchmarkName-N  iters  v unit  v unit ...`
@@ -173,9 +202,71 @@ func parseBenchLine(line string) (string, result, bool) {
 	return name, res, true
 }
 
-// thresholds carries the per-metric allowed new/old ratios for diff mode.
+// reduceSamples collapses one benchmark's samples into a single result.
+// A single sample passes through unchanged; multiple samples reduce to the
+// per-metric median, with the ns/op spread (max-min) recorded when multi-run
+// mode asked for it.
+func reduceSamples(ss []result, recordSpread bool) result {
+	if len(ss) == 1 {
+		return ss[0]
+	}
+	ns := make([]float64, len(ss))
+	iters := make([]float64, len(ss))
+	for i, s := range ss {
+		ns[i] = s.NsPerOp
+		iters[i] = float64(s.Iterations)
+	}
+	red := result{
+		Iterations: int64(median(iters)),
+		NsPerOp:    median(ns),
+	}
+	if recordSpread {
+		sort.Float64s(ns)
+		spread := ns[len(ns)-1] - ns[0]
+		red.NsSpread = &spread
+	}
+	if vs := gather(ss, func(r result) *float64 { return r.BytesPerOp }); vs != nil {
+		m := median(vs)
+		red.BytesPerOp = &m
+	}
+	if vs := gather(ss, func(r result) *float64 { return r.AllocsPerOp }); vs != nil {
+		m := median(vs)
+		red.AllocsPerOp = &m
+	}
+	return red
+}
+
+// gather extracts one optional metric across samples; it returns nil unless
+// EVERY sample carries the metric, so a half-instrumented run cannot fake a
+// median.
+func gather(ss []result, get func(result) *float64) []float64 {
+	vs := make([]float64, 0, len(ss))
+	for _, s := range ss {
+		p := get(s)
+		if p == nil {
+			return nil
+		}
+		vs = append(vs, *p)
+	}
+	return vs
+}
+
+// median returns the middle value (mean of the middle two for even counts).
+// The input slice is sorted in place.
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// thresholds carries the per-metric allowed new/old ratios for diff mode,
+// plus the absolute ns/op noise floor below which increases are ignored.
 type thresholds struct {
 	ns, bytes, allocs float64
+	noiseNs           float64
 }
 
 // loadBenchFile reads a collected file in either schema: the current
@@ -239,12 +330,12 @@ func diffBenchmarks(oldF, newF benchFile, th thresholds) (names []string, deltas
 			continue
 		}
 		names = append(names, name)
-		row := []metricDelta{compareMetric("ns/op", o.NsPerOp, n.NsPerOp, th.ns)}
+		row := []metricDelta{compareMetric("ns/op", o.NsPerOp, n.NsPerOp, th.ns, th.noiseNs)}
 		if o.BytesPerOp != nil && n.BytesPerOp != nil {
-			row = append(row, compareMetric("B/op", *o.BytesPerOp, *n.BytesPerOp, th.bytes))
+			row = append(row, compareMetric("B/op", *o.BytesPerOp, *n.BytesPerOp, th.bytes, 0))
 		}
 		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
-			row = append(row, compareMetric("allocs/op", *o.AllocsPerOp, *n.AllocsPerOp, th.allocs))
+			row = append(row, compareMetric("allocs/op", *o.AllocsPerOp, *n.AllocsPerOp, th.allocs, 0))
 		}
 		deltas[name] = row
 	}
@@ -259,17 +350,19 @@ func diffBenchmarks(oldF, newF benchFile, th thresholds) (names []string, deltas
 // compareMetric builds the delta for one metric. A zero baseline cannot
 // express a ratio: old==0 && new==0 is a pass, old==0 && new>0 is flagged
 // as a regression (something that cost nothing now costs something).
-func compareMetric(metric string, old, new, threshold float64) metricDelta {
+// An increase no larger than floor absolute units is never a regression —
+// on a timer-noise-dominated benchmark the ratio is not meaningful.
+func compareMetric(metric string, old, new, threshold, floor float64) metricDelta {
 	d := metricDelta{metric: metric, old: old, new: new}
 	switch {
 	case old == 0 && new == 0:
 		d.ratio = 1
 	case old == 0:
 		d.ratio = -1 // marker: no finite ratio
-		d.regressed = true
+		d.regressed = new > floor
 	default:
 		d.ratio = new / old
-		d.regressed = d.ratio > threshold
+		d.regressed = d.ratio > threshold && new-old > floor
 	}
 	return d
 }

@@ -131,10 +131,73 @@ func TestDiffBenchmarksFlagsRegression(t *testing.T) {
 }
 
 func TestCompareMetricZeroBaseline(t *testing.T) {
-	if d := compareMetric("allocs/op", 0, 0, 1.10); d.regressed {
+	if d := compareMetric("allocs/op", 0, 0, 1.10, 0); d.regressed {
 		t.Errorf("0 -> 0 flagged: %+v", d)
 	}
-	if d := compareMetric("allocs/op", 0, 5, 1.10); !d.regressed {
+	if d := compareMetric("allocs/op", 0, 5, 1.10, 0); !d.regressed {
 		t.Errorf("0 -> 5 not flagged: %+v", d)
+	}
+}
+
+func TestCompareMetricNoiseFloor(t *testing.T) {
+	// 40 -> 60 ns/op is a 1.5x ratio but only 20 ns absolute: below a 25 ns
+	// floor the benchmark is timer noise, not a regression.
+	if d := compareMetric("ns/op", 40, 60, 1.10, 25); d.regressed {
+		t.Errorf("sub-floor delta flagged: %+v", d)
+	}
+	// The same ratio above the floor still fails.
+	if d := compareMetric("ns/op", 4000, 6000, 1.10, 25); !d.regressed {
+		t.Errorf("super-floor regression not flagged: %+v", d)
+	}
+	// The floor also tempers the zero-baseline rule.
+	if d := compareMetric("ns/op", 0, 10, 1.10, 25); d.regressed {
+		t.Errorf("0 -> 10 flagged despite 25 ns floor: %+v", d)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{9, 1, 5}); m != 5 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+}
+
+func TestReduceSamplesMedian(t *testing.T) {
+	f := func(v float64) *float64 { return &v }
+	ss := []result{
+		{Iterations: 10, NsPerOp: 300, BytesPerOp: f(128), AllocsPerOp: f(3)},
+		{Iterations: 30, NsPerOp: 100, BytesPerOp: f(130), AllocsPerOp: f(3)},
+		{Iterations: 20, NsPerOp: 900, BytesPerOp: f(126), AllocsPerOp: f(3)},
+	}
+	red := reduceSamples(ss, true)
+	if red.NsPerOp != 300 || red.Iterations != 20 {
+		t.Fatalf("median wrong: %+v", red)
+	}
+	if red.BytesPerOp == nil || *red.BytesPerOp != 128 {
+		t.Fatalf("bytes median = %v", red.BytesPerOp)
+	}
+	if red.AllocsPerOp == nil || *red.AllocsPerOp != 3 {
+		t.Fatalf("allocs median = %v", red.AllocsPerOp)
+	}
+	if red.NsSpread == nil || *red.NsSpread != 800 {
+		t.Fatalf("spread = %v", red.NsSpread)
+	}
+
+	// A sample missing memory stats suppresses the memory medians entirely.
+	ss[1].BytesPerOp = nil
+	red = reduceSamples(ss, false)
+	if red.BytesPerOp != nil {
+		t.Fatal("bytes median fabricated from partial samples")
+	}
+	if red.NsSpread != nil {
+		t.Fatal("spread recorded without multi-run mode")
+	}
+
+	// A single sample passes through untouched.
+	one := reduceSamples(ss[:1], true)
+	if one.NsPerOp != 300 || one.NsSpread != nil {
+		t.Fatalf("single sample mangled: %+v", one)
 	}
 }

@@ -42,6 +42,10 @@ func main() {
 		runMonitor(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	blocks := flag.Int("blocks", 2000, "number of /24 blocks in the world")
 	days := flag.Int("days", 14, "days of probing")
 	seed := flag.Uint64("seed", 42, "seed")

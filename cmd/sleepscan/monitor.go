@@ -35,6 +35,8 @@ func runMonitor(argv []string) {
 	syncWAL := fs.Bool("sync", false, "fsync every WAL record (power-cut safe, slower)")
 	snapEvery := fs.Int("snapshot-every", 16, "snapshot each shard every N rounds")
 	outPath := fs.String("o", "", "write the completed study (JSON) to this file")
+	withMetrics := fs.Bool("metrics", false, "report run-cost metrics on stdout when done")
+	metricsOut := fs.String("metricsout", "", "write the metrics snapshot (JSON) to this file")
 	_ = fs.Parse(argv) // ExitOnError: Parse never returns an error
 
 	w, err := world.Generate(world.Config{
@@ -108,6 +110,15 @@ func runMonitor(argv []string) {
 		fmt.Printf("stopped after %v without completing (%d shards quarantined)\n", elapsed, len(res.Quarantined))
 	}
 
-	fmt.Println("\nrun metrics:")
-	fmt.Print(report.Metrics(reg.Snapshot()))
+	if *withMetrics {
+		fmt.Println("\nrun metrics:")
+		fmt.Print(report.Metrics(reg.Snapshot()))
+	}
+	if *metricsOut != "" {
+		f, ferr := os.Create(*metricsOut)
+		fatal(ferr)
+		fatal(reg.Snapshot().WriteJSON(f))
+		fatal(f.Close())
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+	}
 }

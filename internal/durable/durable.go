@@ -13,6 +13,12 @@ import (
 	"path/filepath"
 )
 
+// fsync is the seam through which every durability barrier in this package
+// runs. Production always points it at (*os.File).Sync; tests swap it to
+// exercise the fsync-failure paths, which no real filesystem will produce
+// on demand.
+var fsync = (*os.File).Sync
+
 // WriteFileAtomic writes data to path crash-safely: the bytes go to a
 // sibling temp file, are fsynced, and are renamed over path; the parent
 // directory is then fsynced so the rename is durable. The temp file is
@@ -28,7 +34,7 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		_ = os.Remove(tmp)
 		return fmt.Errorf("durable: %w", err)
 	}
-	if err := f.Sync(); err != nil {
+	if err := fsync(f); err != nil {
 		_ = f.Close() // best effort: the sync error is the one to surface
 		_ = os.Remove(tmp)
 		return fmt.Errorf("durable: %w", err)
@@ -53,7 +59,7 @@ func SyncDir(dir string) error {
 	if err != nil {
 		return fmt.Errorf("durable: %w", err)
 	}
-	if err := d.Sync(); err != nil {
+	if err := fsync(d); err != nil {
 		_ = d.Close() // best effort: the sync error is the one to surface
 		return fmt.Errorf("durable: sync %s: %w", dir, err)
 	}

@@ -1,10 +1,28 @@
 package durable
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
+
+// failFsync arms the package fsync seam to fail after n successful calls,
+// restoring the real fsync when the test ends.
+func failFsync(t *testing.T, n int, err error) {
+	t.Helper()
+	real := fsync
+	calls := 0
+	fsync = func(f *os.File) error {
+		calls++
+		if calls > n {
+			return err
+		}
+		return real(f)
+	}
+	t.Cleanup(func() { fsync = real })
+}
 
 func TestWriteFileAtomic(t *testing.T) {
 	dir := t.TempDir()
@@ -43,6 +61,101 @@ func TestWriteFileAtomicMissingDir(t *testing.T) {
 	err := WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"), 0o644)
 	if err == nil {
 		t.Fatal("want error for missing parent directory")
+	}
+}
+
+func TestWriteFileAtomicFsyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFileAtomic(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	injected := errors.New("disk on fire")
+	failFsync(t, 0, injected)
+	err := WriteFileAtomic(path, []byte("new"), 0o644)
+	if !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want the injected fsync failure", err)
+	}
+
+	// The contract after a failure: old content intact, no temp husk.
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "old" {
+		t.Fatalf("read %q, %v — old content not preserved", got, rerr)
+	}
+	if _, serr := os.Stat(path + ".tmp"); !os.IsNotExist(serr) {
+		t.Fatalf("temp file survived the failed write: %v", serr)
+	}
+}
+
+func TestWriteFileAtomicDirFsyncFailure(t *testing.T) {
+	// The first fsync (temp file) succeeds; the second (parent directory)
+	// fails. The rename has already happened, so the new content is at path,
+	// but the caller must still see the error — durability was not achieved.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	injected := errors.New("dir sync refused")
+	failFsync(t, 1, injected)
+	if err := WriteFileAtomic(path, []byte("x"), 0o644); !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want the injected dir-fsync failure", err)
+	}
+}
+
+func TestSyncDirFailureNamesDir(t *testing.T) {
+	dir := t.TempDir()
+	injected := errors.New("no barriers here")
+	failFsync(t, 0, injected)
+	err := SyncDir(dir)
+	if !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	if !strings.Contains(err.Error(), dir) {
+		t.Fatalf("error %q does not name the directory", err)
+	}
+}
+
+func TestWriteFileAtomicReclaimsZeroLengthTemp(t *testing.T) {
+	// A crash between temp-create and write leaves a zero-length .tmp husk.
+	// The next write must truncate through it and succeed, not refuse or
+	// rename the husk into place.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := os.WriteFile(path+".tmp", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("fresh"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "fresh" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("husk survived: %v", err)
+	}
+}
+
+func TestRenameOntoExisting(t *testing.T) {
+	// Sealing a segment over a leftover from an earlier crash must replace
+	// it — POSIX rename semantics, made durable.
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "seg.open")
+	newPath := filepath.Join(dir, "seg.wal")
+	if err := os.WriteFile(oldPath, []byte("current"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte("stale leftover"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Rename(oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(newPath)
+	if err != nil || string(got) != "current" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+	if _, err := os.Stat(oldPath); !os.IsNotExist(err) {
+		t.Fatalf("source survived: %v", err)
 	}
 }
 

@@ -109,6 +109,10 @@ type Config struct {
 	// Metrics receives operational counters; it is also handed to the
 	// probers when they have none of their own.
 	Metrics *metrics.Registry
+	// Sink, when non-nil, receives every committed round (and a full resync
+	// at each shard rebuild) for live serving — see publish.go. Nil costs
+	// one comparison per round.
+	Sink EpochSink
 	// Chaos injects process-level faults (tests only).
 	Chaos *faults.ChaosPlan
 	// HaltAfterRound simulates kill -9: once every shard has committed this
@@ -383,6 +387,17 @@ func (m *Monitor) Run(ctx context.Context) (*Result, error) {
 	m.cancel = cancel
 	defer cancel()
 
+	if m.cfg.Sink != nil {
+		m.cfg.Sink.BeginRun(RunInfo{
+			Shards: len(m.shards),
+			Rounds: m.cfg.Rounds,
+			Blocks: m.NumBlocks(),
+			Start:  m.cfg.Start,
+			Period: m.cfg.Period,
+			Seed:   m.cfg.Seed,
+		})
+	}
+
 	outcomes := make([]shardOutcome, len(m.shards))
 	var shardWg sync.WaitGroup
 	for i, s := range m.shards {
@@ -458,6 +473,9 @@ func (m *Monitor) supervise(ctx context.Context, s *shard) shardOutcome {
 		if out.restarts > m.cfg.MaxRestarts {
 			out.quarantined = true
 			m.met.quarantines.Inc()
+			if m.cfg.Sink != nil {
+				m.cfg.Sink.ShardDown(s.idx)
+			}
 			m.noteQuarantine()
 			return out
 		}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -143,6 +144,87 @@ func TestHaltAndResumeFromWAL(t *testing.T) {
 	}
 	if !bytes.Equal(got, ref) {
 		t.Fatal("halt+resume study diverges from uninterrupted run")
+	}
+}
+
+func TestResumeFromEmptyFinalSegment(t *testing.T) {
+	// A crash between creating the next .open segment and writing its
+	// 16-byte header leaves a zero-length husk as the final segment. It
+	// carries nothing: recovery must drop it and resume from the sealed
+	// history, not reject the directory or seal an undecodable file.
+	ref := runStudy(t, baseConfig(testNet(17), 12))
+
+	dir := t.TempDir()
+	cfg := baseConfig(testNet(17), 12)
+	cfg.WALDir = dir
+	cfg.SnapshotEvery = 4
+	cfg.HaltAfterRound = 5
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(context.Background()); !errors.Is(err, ErrHalted) {
+		t.Fatalf("want ErrHalted, got %v", err)
+	}
+
+	for s := 0; s < cfg.Shards; s++ {
+		sd := filepath.Join(dir, shardDirName(s))
+		segs, err := listSegments(sd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(segs) == 0 {
+			t.Fatalf("shard %d halted with no segments", s)
+		}
+		husk := filepath.Join(sd, segName(segs[len(segs)-1].seq+1, false))
+		if err := os.WriteFile(husk, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cfg.HaltAfterRound = 0
+	reg := metrics.New()
+	cfg.Metrics = reg
+	m2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("resume not completed: %+v", res)
+	}
+	if got := reg.Snapshot().Counter("monitor.truncated_tails"); got < int64(cfg.Shards) {
+		t.Fatalf("truncated_tails = %d, want >= %d (one husk per shard)", got, cfg.Shards)
+	}
+	st, err := res.Study()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatal("resume over empty final segment diverges from uninterrupted run")
+	}
+	// The husks themselves must be gone, not sealed into history.
+	for s := 0; s < cfg.Shards; s++ {
+		segs, err := listSegments(filepath.Join(dir, shardDirName(s)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sf := range segs {
+			fi, err := os.Stat(sf.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fi.Size() == 0 {
+				t.Fatalf("zero-length segment %s survived recovery", sf.path)
+			}
+		}
 	}
 }
 

@@ -65,7 +65,8 @@ type shard struct {
 	mons   []*blockMon
 	round  int // next round to execute
 	wal    *walWriter
-	rec    walRecord // staging buffer reused across commits
+	rec    walRecord  // staging buffer reused across commits
+	pub    []RoundPub // sink staging buffer reused across rounds
 
 	// hb is the watchdog heartbeat: bumped on every completed round and
 	// every completed rebuild.
@@ -336,6 +337,7 @@ func (s *shard) runAttempt(ctx context.Context) (err error) {
 	if err := s.rebuild(); err != nil {
 		return err
 	}
+	s.publishResync()
 	s.hb.Add(1)
 	cfg := &s.m.cfg
 	for s.round < cfg.Rounds {
@@ -368,6 +370,7 @@ func (s *shard) runAttempt(ctx context.Context) (err error) {
 		if err := s.commitRound(r); err != nil {
 			return err
 		}
+		s.publishRound(r)
 		s.round = r + 1
 		if int64(s.round) > s.committed.Load() {
 			s.committed.Store(int64(s.round))

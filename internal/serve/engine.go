@@ -1,0 +1,476 @@
+// Package serve is the overload-resilient live query layer over the
+// monitor's per-block state: availability, streaming diurnal class, phase →
+// time-of-sleep, and outage flags, queryable while the campaign runs.
+//
+// The core mechanism is the copy-on-write epoch snapshot. Shards publish
+// committed rounds into writer-owned columnar buffers (internal/monitor's
+// EpochSink hook); once every shard has committed round r, the engine copies
+// the columns into an immutable Epoch and swaps it in with one atomic
+// pointer store. Readers load the pointer and query the frozen epoch — they
+// never take a lock the probe path can contend on, and a reader holding an
+// old epoch keeps a consistent view for as long as it wants.
+//
+// Liveness under partial monitor state is explicit rather than accidental:
+// while a shard is crash-looping, mid-recovery, or quarantined, the engine
+// keeps serving the last sealed epoch and reports itself degraded; the HTTP
+// layer (http.go) turns that into staleness headers instead of blocking or
+// guessing.
+//
+// Diurnal state is a *streaming* approximation: an incremental DFT at the
+// 1 cycle/day bin and its first harmonic, updated O(1) per block per round
+// from the published Âs value. The batch FFT over the completed study stays
+// the golden oracle (internal/core.DetectDiurnal); the streaming class
+// exists so "is this block asleep right now" is answerable mid-campaign.
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sleepnet/internal/analysis"
+	"sleepnet/internal/metrics"
+	"sleepnet/internal/monitor"
+	"sleepnet/internal/netsim"
+)
+
+// DiurnalClass is the streaming classification of one block.
+type DiurnalClass uint8
+
+const (
+	// ClassUnknown: not enough committed rounds to attempt classification.
+	ClassUnknown DiurnalClass = iota
+	// ClassNonDiurnal: no dominant daily periodicity in the stream so far.
+	ClassNonDiurnal
+	// ClassRelaxed: daily periodicity present (fundamental plus first
+	// harmonic carry a meaningful share of the variance).
+	ClassRelaxed
+	// ClassStrict: the 1 cycle/day component dominates: it carries at least
+	// half the variance and is at least twice the first harmonic.
+	ClassStrict
+)
+
+// String renders the class for reports and JSON.
+func (c DiurnalClass) String() string {
+	switch c {
+	case ClassStrict:
+		return "strict"
+	case ClassRelaxed:
+		return "relaxed"
+	case ClassNonDiurnal:
+		return "non-diurnal"
+	default:
+		return "unknown"
+	}
+}
+
+// Streaming classification thresholds. The batch FFT compares against the
+// whole spectrum; the stream only tracks the diurnal bin and its first
+// harmonic, so the rules are variance-share tests instead of peak ranking.
+const (
+	// strictShare: fraction of series variance the fundamental must carry.
+	strictShare = 0.5
+	// relaxedShare: fraction fundamental+harmonic must carry together.
+	relaxedShare = 0.3
+	// flatVariance: below this the series is flat and trivially non-diurnal.
+	flatVariance = 1e-9
+)
+
+// dftAcc is one block's incremental spectral state: running DFT sums at the
+// diurnal frequency and its first harmonic, plus the series moments. All
+// updates happen in round order, so a state rebuilt from the committed
+// series (resync) is bit-identical to one accumulated incrementally — the
+// property the crash-equivalence test pins.
+type dftAcc struct {
+	re1, im1 float64
+	re2, im2 float64
+	sum      float64
+	sumsq    float64
+	n        int32
+}
+
+func (a *dftAcc) add(v, c1, s1, c2, s2 float64) {
+	a.re1 += v * c1
+	a.im1 += v * s1
+	a.re2 += v * c2
+	a.im2 += v * s2
+	a.sum += v
+	a.sumsq += v * v
+	a.n++
+}
+
+// classify derives (class, phase) from the accumulated state. Pure and
+// deterministic: same accumulator, same answer.
+func (a *dftAcc) classify(minRounds int) (DiurnalClass, float64) {
+	if int(a.n) < minRounds || a.n == 0 {
+		return ClassUnknown, 0
+	}
+	n := float64(a.n)
+	mean := a.sum / n
+	variance := a.sumsq/n - mean*mean
+	if variance < flatVariance {
+		return ClassNonDiurnal, 0
+	}
+	phase := math.Atan2(a.im1, a.re1)
+	amp1 := 2 * math.Hypot(a.re1, a.im1) / n
+	amp2 := 2 * math.Hypot(a.re2, a.im2) / n
+	// A sinusoid of amplitude A contributes A²/2 to the variance.
+	share1 := amp1 * amp1 / 2 / variance
+	share2 := amp2 * amp2 / 2 / variance
+	switch {
+	case share1 >= strictShare && amp1 >= 2*amp2:
+		return ClassStrict, phase
+	case share1+share2 >= relaxedShare:
+		return ClassRelaxed, phase
+	default:
+		return ClassNonDiurnal, phase
+	}
+}
+
+// shardState is the writer-side mirror of one monitor shard, owned by the
+// engine mutex.
+type shardState struct {
+	synced      bool
+	quarantined bool
+	rounds      int // committed rounds published so far
+	ids         []netsim.BlockID
+	avail       []float64
+	long        []float64
+	down        []bool
+	failed      []int32
+	acc         []dftAcc
+}
+
+// engineMetrics caches the engine's instruments (all no-ops without a
+// registry).
+type engineMetrics struct {
+	epochs         *metrics.Counter
+	resyncs        *metrics.Counter
+	publishIgnored *metrics.Counter
+	shardsDown     *metrics.Counter
+}
+
+func newEngineMetrics(r *metrics.Registry) *engineMetrics {
+	if r == nil {
+		return &engineMetrics{}
+	}
+	return &engineMetrics{
+		epochs:         r.Counter("serve.epochs_sealed"),
+		resyncs:        r.Counter("serve.resyncs"),
+		publishIgnored: r.Counter("serve.publish_ignored"),
+		shardsDown:     r.Counter("serve.shards_down"),
+	}
+}
+
+// EngineConfig configures an Engine.
+type EngineConfig struct {
+	// Metrics receives engine counters (optional).
+	Metrics *metrics.Registry
+	// MinClassifyRounds is how many committed rounds a block needs before
+	// the streaming classifier speaks; fewer reports ClassUnknown. Default:
+	// one virtual day of rounds (derived from the campaign period).
+	MinClassifyRounds int
+}
+
+// Engine accumulates published monitor state and seals copy-on-write
+// epochs. It implements monitor.EpochSink; readers use Epoch/Status, which
+// never block on the writer path.
+type Engine struct {
+	cfg EngineConfig
+	met *engineMetrics
+
+	mu             sync.Mutex // writer state below; readers never take it
+	info           monitor.RunInfo
+	began          bool
+	shards         []*shardState
+	cyclesPerRound float64
+	minClassify    int
+	sealedRound    int
+
+	storeMu sync.Mutex // orders epoch stores from concurrent seals
+
+	epoch       atomic.Pointer[Epoch]
+	maxRounds   atomic.Int64
+	totalRounds atomic.Int64
+	degraded    atomic.Bool
+}
+
+// NewEngine creates an engine; attach it via monitor.Config.Sink.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{cfg: cfg, met: newEngineMetrics(cfg.Metrics), sealedRound: -1}
+}
+
+// BeginRun implements monitor.EpochSink: it records the campaign shape and
+// resets per-shard sync state. The last sealed epoch (from a previous run
+// over the same WAL) keeps serving until the new run seals a fresh one —
+// that is the mid-recovery degraded mode.
+func (e *Engine) BeginRun(info monitor.RunInfo) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.info = info
+	e.began = true
+	e.shards = make([]*shardState, info.Shards)
+	e.cyclesPerRound = info.Period.Seconds() / (24 * 60 * 60)
+	e.minClassify = e.cfg.MinClassifyRounds
+	if e.minClassify <= 0 {
+		e.minClassify = int(math.Ceil(1 / e.cyclesPerRound)) // one virtual day
+	}
+	e.sealedRound = -1
+	e.totalRounds.Store(int64(info.Rounds))
+}
+
+// waves returns the DFT basis at round r for the fundamental (1 cycle/day)
+// and first harmonic. Both the incremental and the resync path call this,
+// so their float operation sequences — and therefore their results — are
+// identical.
+func (e *Engine) waves(r int) (c1, s1, c2, s2 float64) {
+	theta := -2 * math.Pi * e.cyclesPerRound * float64(r)
+	return math.Cos(theta), math.Sin(theta), math.Cos(2 * theta), math.Sin(2 * theta)
+}
+
+// ResyncShard implements monitor.EpochSink: it replaces the shard's mirror
+// with state rebuilt from the committed series. Cold path (attempt starts
+// and recoveries only).
+func (e *Engine) ResyncShard(shard, nextRound int, blocks []monitor.PubBlock) {
+	e.mu.Lock()
+	if !e.began || shard < 0 || shard >= len(e.shards) {
+		e.met.publishIgnored.Inc()
+		e.mu.Unlock()
+		return
+	}
+	st := &shardState{
+		synced: true,
+		rounds: nextRound,
+		ids:    make([]netsim.BlockID, len(blocks)),
+		avail:  make([]float64, len(blocks)),
+		long:   make([]float64, len(blocks)),
+		down:   make([]bool, len(blocks)),
+		failed: make([]int32, len(blocks)),
+		acc:    make([]dftAcc, len(blocks)),
+	}
+	for i := range blocks {
+		b := &blocks[i]
+		st.ids[i] = b.ID
+		if len(b.Short) > 0 {
+			st.avail[i] = b.Short[len(b.Short)-1]
+		}
+		st.long[i] = b.Long
+		st.down[i] = b.Down
+		st.failed[i] = int32(b.Failed)
+	}
+	// Rebuild the spectral accumulators round-major so the float op order
+	// matches incremental publication exactly.
+	for r := 0; r < nextRound; r++ {
+		c1, s1, c2, s2 := e.waves(r)
+		for i := range blocks {
+			if r < len(blocks[i].Short) {
+				st.acc[i].add(blocks[i].Short[r], c1, s1, c2, s2)
+			}
+		}
+	}
+	e.shards[shard] = st
+	e.met.resyncs.Inc()
+	e.noteRounds(nextRound)
+	ep := e.sealLocked()
+	e.mu.Unlock()
+	e.finishSeal(ep)
+}
+
+// PublishRound implements monitor.EpochSink: it applies one committed
+// round's deltas. Hot path — O(shard blocks) arithmetic under the writer
+// mutex, no allocation.
+func (e *Engine) PublishRound(shard, round int, deltas []monitor.RoundPub) {
+	e.mu.Lock()
+	if !e.began || shard < 0 || shard >= len(e.shards) {
+		e.met.publishIgnored.Inc()
+		e.mu.Unlock()
+		return
+	}
+	st := e.shards[shard]
+	if st == nil || !st.synced || len(deltas) != len(st.ids) || round != st.rounds {
+		// A replayed round (engine already covered it via resync) or a gap
+		// (impossible through the shard contract, but never corrupt state
+		// over it): drop the publication, the next resync reconciles.
+		e.met.publishIgnored.Inc()
+		e.mu.Unlock()
+		return
+	}
+	c1, s1, c2, s2 := e.waves(round)
+	for i := range deltas {
+		d := &deltas[i]
+		st.avail[i] = d.Avail
+		st.long[i] = d.Long
+		st.acc[i].add(d.Avail, c1, s1, c2, s2)
+		switch d.Event {
+		case monitor.PubEventDown:
+			st.down[i] = true
+		case monitor.PubEventUp:
+			st.down[i] = false
+		}
+		if d.Failed {
+			st.failed[i]++
+		}
+	}
+	st.rounds = round + 1
+	e.noteRounds(st.rounds)
+	ep := e.sealLocked()
+	e.mu.Unlock()
+	e.finishSeal(ep)
+}
+
+// ShardDown implements monitor.EpochSink: the shard quarantined and will
+// publish nothing more this run. The engine keeps serving the last epoch
+// and reports itself degraded.
+func (e *Engine) ShardDown(shard int) {
+	e.mu.Lock()
+	if shard >= 0 && shard < len(e.shards) && e.shards[shard] != nil {
+		e.shards[shard].quarantined = true
+	}
+	// The quarantined shard no longer holds the floor down: shards that
+	// already committed past it may now be sealable.
+	ep := e.sealLocked()
+	e.mu.Unlock()
+	e.met.shardsDown.Inc()
+	e.degraded.Store(true)
+	e.finishSeal(ep)
+}
+
+// noteRounds advances the high-water mark of committed rounds (locked).
+func (e *Engine) noteRounds(rounds int) {
+	if int64(rounds) > e.maxRounds.Load() {
+		e.maxRounds.Store(int64(rounds))
+	}
+}
+
+// sealLocked prepares a new epoch when every shard has committed past the
+// current one, returning nil when there is nothing to seal. Column copies
+// happen under the writer mutex (so publishers see a consistent cut);
+// classification — the expensive part — runs in finishSeal, outside the
+// mutex, on the epoch's own copies, paid by the publishing shard.
+func (e *Engine) sealLocked() *Epoch {
+	floor := -1
+	for _, st := range e.shards {
+		if st == nil || !st.synced {
+			return nil // not all shards reporting yet: no epoch to seal
+		}
+		if st.quarantined {
+			continue // frozen at its last committed round; floor ignores it
+		}
+		if floor < 0 || st.rounds < floor {
+			floor = st.rounds
+		}
+	}
+	if floor <= e.sealedRound || floor <= 0 {
+		return nil
+	}
+	e.sealedRound = floor
+
+	total := 0
+	for _, st := range e.shards {
+		total += len(st.ids)
+	}
+	ep := &Epoch{
+		Rounds:      floor,
+		MaxRounds:   int(e.maxRounds.Load()),
+		TotalRounds: e.info.Rounds,
+		Time:        e.info.Start.Add(time.Duration(floor-1) * e.info.Period),
+		Start:       e.info.Start,
+		ids:         make([]netsim.BlockID, 0, total),
+		avail:       make([]float64, 0, total),
+		long:        make([]float64, 0, total),
+		down:        make([]bool, 0, total),
+		failed:      make([]int32, 0, total),
+		acc:         make([]dftAcc, 0, total),
+		class:       make([]DiurnalClass, total),
+		phase:       make([]float64, total),
+		peakUTC:     make([]float64, total),
+		sleepUTC:    make([]float64, total),
+		minClassify: e.minClassify,
+	}
+	// Shards hold contiguous slices of the global sorted block order, so
+	// concatenating in shard order yields a globally sorted epoch.
+	for _, st := range e.shards {
+		ep.ids = append(ep.ids, st.ids...)
+		ep.avail = append(ep.avail, st.avail...)
+		ep.long = append(ep.long, st.long...)
+		ep.down = append(ep.down, st.down...)
+		ep.failed = append(ep.failed, st.failed...)
+		ep.acc = append(ep.acc, st.acc...)
+	}
+	e.met.epochs.Inc()
+	return ep
+}
+
+// finishSeal classifies the epoch's blocks (outside the writer mutex) and
+// publishes it, never letting an older epoch overwrite a newer one. A nil
+// epoch (nothing sealed) is a no-op.
+func (e *Engine) finishSeal(ep *Epoch) {
+	if ep == nil {
+		return
+	}
+	startHour := float64(ep.Start.UTC().Hour()) +
+		float64(ep.Start.UTC().Minute())/60 +
+		float64(ep.Start.UTC().Second())/3600
+	for i := range ep.acc {
+		class, phase := ep.acc[i].classify(ep.minClassify)
+		ep.class[i] = class
+		if class == ClassStrict || class == ClassRelaxed {
+			ep.phase[i] = phase
+			// UTCPeakHour maps the phase to hours after series start; shift
+			// by the campaign's start-of-day offset to get UTC time-of-day.
+			peak := math.Mod(analysis.UTCPeakHour(phase)+startHour, 24)
+			ep.peakUTC[i] = peak
+			ep.sleepUTC[i] = math.Mod(peak+12, 24)
+		}
+	}
+	ep.acc = nil // classification done; drop the accumulator copy
+
+	e.storeMu.Lock()
+	if cur := e.epoch.Load(); cur == nil || cur.Rounds < ep.Rounds {
+		e.epoch.Store(ep)
+	}
+	e.storeMu.Unlock()
+}
+
+// Epoch returns the latest sealed epoch, or nil before the first seal.
+// Lock-free: one atomic pointer load.
+func (e *Engine) Epoch() *Epoch { return e.epoch.Load() }
+
+// Status is the engine's serving posture, computed without touching the
+// writer mutex.
+type Status struct {
+	// Ready: at least one epoch is sealed and queryable.
+	Ready bool `json:"ready"`
+	// Epoch is the sealed epoch's round floor (0 when not ready).
+	Epoch int `json:"epoch"`
+	// MaxRounds is the most advanced shard's committed round count.
+	MaxRounds int `json:"max_rounds"`
+	// TotalRounds is the campaign length.
+	TotalRounds int `json:"total_rounds"`
+	// Degraded: a shard quarantined (or the monitor died); the epoch may be
+	// permanently stale.
+	Degraded bool `json:"degraded"`
+	// StaleRounds is how many committed rounds the epoch lags the most
+	// advanced shard.
+	StaleRounds int `json:"stale_rounds"`
+}
+
+// Status reports the engine's current posture (lock-free).
+func (e *Engine) Status() Status {
+	s := Status{
+		MaxRounds:   int(e.maxRounds.Load()),
+		TotalRounds: int(e.totalRounds.Load()),
+		Degraded:    e.degraded.Load(),
+	}
+	if ep := e.epoch.Load(); ep != nil {
+		s.Ready = true
+		s.Epoch = ep.Rounds
+		s.StaleRounds = s.MaxRounds - ep.Rounds
+	}
+	return s
+}
+
+// SetDegraded forces the degraded flag — the CLI uses it when the monitor
+// exits fatally while the server keeps answering from the last epoch.
+func (e *Engine) SetDegraded() { e.degraded.Store(true) }

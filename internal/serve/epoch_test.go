@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sleepnet/internal/monitor"
+	"sleepnet/internal/netsim"
+)
+
+// downEngine drives an engine where even-numbered blocks go down in round 1.
+func downEngine(blocks int) *Engine {
+	e := NewEngine(EngineConfig{MinClassifyRounds: 1})
+	e.BeginRun(monitor.RunInfo{
+		Shards: 1, Rounds: 2, Blocks: blocks,
+		Start: testEpoch, Period: time.Hour, Seed: 1,
+	})
+	pub := make([]monitor.PubBlock, blocks)
+	for i := range pub {
+		pub[i] = monitor.PubBlock{ID: netsim.MakeBlockID(10, byte(i/256), byte(i%256))}
+	}
+	e.ResyncShard(0, 0, pub)
+	deltas := make([]monitor.RoundPub, blocks)
+	for r := 0; r < 2; r++ {
+		for i := range deltas {
+			deltas[i] = monitor.RoundPub{Avail: 0.5, Long: 0.5}
+			if r == 1 && i%2 == 0 {
+				deltas[i].Event = monitor.PubEventDown
+				deltas[i].Failed = true
+			}
+		}
+		e.PublishRound(0, r, deltas)
+	}
+	return e
+}
+
+func TestEpochSummary(t *testing.T) {
+	ep := downEngine(10).Epoch()
+	s, err := ep.Summary(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks != 10 || s.Down != 5 || s.Epoch != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.FailedRounds != 5 {
+		t.Fatalf("failed rounds = %d, want 5", s.FailedRounds)
+	}
+	if s.MeanAvail != 0.5 {
+		t.Fatalf("mean avail = %v, want 0.5", s.MeanAvail)
+	}
+	if s.Unknown+s.NonDiurnal+s.Relaxed+s.Strict != 10 {
+		t.Fatalf("class counts don't partition: %+v", s)
+	}
+}
+
+func TestEpochRange(t *testing.T) {
+	ep := downEngine(10).Epoch()
+	ctx := context.Background()
+
+	all, trunc, err := ep.Range(ctx, 0, ^netsim.BlockID(0), 100, false)
+	if err != nil || trunc || len(all) != 10 {
+		t.Fatalf("full range: n=%d trunc=%v err=%v", len(all), trunc, err)
+	}
+
+	// Half-open id window [10.0.2, 10.0.5) → blocks 2, 3, 4.
+	lo, hi := netsim.MakeBlockID(10, 0, 2), netsim.MakeBlockID(10, 0, 5)
+	win, _, err := ep.Range(ctx, lo, hi, 100, false)
+	if err != nil || len(win) != 3 {
+		t.Fatalf("window: n=%d err=%v", len(win), err)
+	}
+	if win[0].ID != "10.0.2/24" || win[2].ID != "10.0.4/24" {
+		t.Fatalf("window ids: %s .. %s", win[0].ID, win[2].ID)
+	}
+
+	down, _, err := ep.Range(ctx, 0, ^netsim.BlockID(0), 100, true)
+	if err != nil || len(down) != 5 {
+		t.Fatalf("down filter: n=%d err=%v", len(down), err)
+	}
+	for _, b := range down {
+		if !b.Down {
+			t.Fatalf("down filter returned up block %s", b.ID)
+		}
+	}
+
+	limited, trunc, err := ep.Range(ctx, 0, ^netsim.BlockID(0), 4, false)
+	if err != nil || !trunc || len(limited) != 4 {
+		t.Fatalf("limit: n=%d trunc=%v err=%v", len(limited), trunc, err)
+	}
+}
+
+func TestEpochQueriesHonorDeadline(t *testing.T) {
+	ep := downEngine(10).Epoch()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ep.Summary(ctx); err == nil {
+		t.Fatal("summary ignored a dead context")
+	}
+	if _, _, err := ep.Range(ctx, 0, ^netsim.BlockID(0), 100, false); err == nil {
+		t.Fatal("range ignored a dead context")
+	}
+}

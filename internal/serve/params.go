@@ -1,0 +1,225 @@
+package serve
+
+// params.go — the HTTP request parser. This is deliberately a tiny,
+// closed-world parser rather than a mux: every accepted input maps to one
+// typed Request, everything else maps to ErrBadRequest with a reason, and
+// nothing panics — the fuzz target (FuzzParseRequest) holds it to that. The
+// parser also enforces input-size ceilings before doing any work, so
+// oversized query strings from hostile clients are rejected for pennies.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"sleepnet/internal/netsim"
+)
+
+// ErrBadRequest wraps every parse rejection; the HTTP layer maps it to 400.
+var ErrBadRequest = errors.New("bad request")
+
+// Input ceilings: enforced before parsing. Generous for every legitimate
+// query, tiny against a memory-pressure flood.
+const (
+	maxPathLen  = 128
+	maxQueryLen = 256
+)
+
+// Listing limits.
+const (
+	// DefaultLimit is the blocks-per-listing cap when the client names none.
+	DefaultLimit = 1000
+	// MaxLimit is the hard per-request listing ceiling.
+	MaxLimit = 10000
+)
+
+// QueryKind discriminates the parsed request.
+type QueryKind uint8
+
+const (
+	// KindStatus: GET /v1/status — serving posture, never shed.
+	KindStatus QueryKind = iota
+	// KindBlock: GET /v1/block/{a}.{b}.{c} — single-block lookup.
+	KindBlock
+	// KindRange: GET /v1/blocks[?prefix=a[.b[.c]]&down=true&limit=n].
+	KindRange
+	// KindSummary: GET /v1/summary — full-world rollup.
+	KindSummary
+)
+
+// String names the kind for metrics and errors.
+func (k QueryKind) String() string {
+	switch k {
+	case KindBlock:
+		return "block"
+	case KindRange:
+		return "range"
+	case KindSummary:
+		return "summary"
+	default:
+		return "status"
+	}
+}
+
+// Request is one parsed, validated query.
+type Request struct {
+	Kind  QueryKind
+	Block netsim.BlockID // KindBlock
+	// Lo, Hi bound a KindRange listing: ids in [Lo, Hi).
+	Lo, Hi   netsim.BlockID
+	Limit    int
+	OnlyDown bool
+}
+
+// ParseRequest parses an HTTP path and raw query string into a Request.
+// It never panics; every rejection wraps ErrBadRequest.
+func ParseRequest(path, rawQuery string) (Request, error) {
+	if len(path) > maxPathLen {
+		return Request{}, fmt.Errorf("%w: path exceeds %d bytes", ErrBadRequest, maxPathLen)
+	}
+	if len(rawQuery) > maxQueryLen {
+		return Request{}, fmt.Errorf("%w: query exceeds %d bytes", ErrBadRequest, maxQueryLen)
+	}
+	switch {
+	case path == "/v1/status":
+		if rawQuery != "" {
+			return Request{}, fmt.Errorf("%w: status takes no parameters", ErrBadRequest)
+		}
+		return Request{Kind: KindStatus}, nil
+	case path == "/v1/summary":
+		if rawQuery != "" {
+			return Request{}, fmt.Errorf("%w: summary takes no parameters", ErrBadRequest)
+		}
+		return Request{Kind: KindSummary}, nil
+	case strings.HasPrefix(path, "/v1/block/"):
+		if rawQuery != "" {
+			return Request{}, fmt.Errorf("%w: block lookup takes no parameters", ErrBadRequest)
+		}
+		id, err := parseBlockID(path[len("/v1/block/"):])
+		if err != nil {
+			return Request{}, err
+		}
+		return Request{Kind: KindBlock, Block: id}, nil
+	case path == "/v1/blocks":
+		return parseRangeQuery(rawQuery)
+	default:
+		return Request{}, fmt.Errorf("%w: unknown path %q", ErrBadRequest, clip(path))
+	}
+}
+
+// parseRangeQuery validates the /v1/blocks parameter set. Unknown keys are
+// rejected — a strict surface keeps malformed-input handling typed instead
+// of silently ignoring attacker-shaped noise.
+func parseRangeQuery(rawQuery string) (Request, error) {
+	req := Request{Kind: KindRange, Lo: 0, Hi: ^netsim.BlockID(0), Limit: DefaultLimit}
+	if rawQuery == "" {
+		return req, nil
+	}
+	for _, kv := range strings.Split(rawQuery, "&") {
+		key, val, _ := strings.Cut(kv, "=")
+		switch key {
+		case "prefix":
+			lo, hi, err := prefixRange(val)
+			if err != nil {
+				return Request{}, err
+			}
+			req.Lo, req.Hi = lo, hi
+		case "down":
+			switch val {
+			case "true", "1":
+				req.OnlyDown = true
+			case "false", "0":
+				req.OnlyDown = false
+			default:
+				return Request{}, fmt.Errorf("%w: down must be true or false, got %q", ErrBadRequest, clip(val))
+			}
+		case "limit":
+			n, err := parseUint(val, MaxLimit)
+			if err != nil {
+				return Request{}, fmt.Errorf("%w: limit: %v", ErrBadRequest, err)
+			}
+			if n == 0 {
+				return Request{}, fmt.Errorf("%w: limit must be positive", ErrBadRequest)
+			}
+			req.Limit = n
+		default:
+			return Request{}, fmt.Errorf("%w: unknown parameter %q", ErrBadRequest, clip(key))
+		}
+	}
+	return req, nil
+}
+
+// parseBlockID parses a strict "a.b.c" /24 prefix.
+func parseBlockID(s string) (netsim.BlockID, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("%w: block id must be a.b.c, got %q", ErrBadRequest, clip(s))
+	}
+	var oct [3]int
+	for i, p := range parts {
+		n, err := parseUint(p, 255)
+		if err != nil {
+			return 0, fmt.Errorf("%w: block id octet %d: %v", ErrBadRequest, i, err)
+		}
+		oct[i] = n
+	}
+	return netsim.MakeBlockID(byte(oct[0]), byte(oct[1]), byte(oct[2])), nil
+}
+
+// prefixRange maps "a", "a.b", or "a.b.c" to the half-open id window the
+// prefix covers.
+func prefixRange(s string) (lo, hi netsim.BlockID, err error) {
+	parts := strings.Split(s, ".")
+	if len(parts) < 1 || len(parts) > 3 {
+		return 0, 0, fmt.Errorf("%w: prefix must be a, a.b, or a.b.c, got %q", ErrBadRequest, clip(s))
+	}
+	var oct [3]int
+	for i, p := range parts {
+		n, perr := parseUint(p, 255)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("%w: prefix octet %d: %v", ErrBadRequest, i, perr)
+		}
+		oct[i] = n
+	}
+	lo = netsim.MakeBlockID(byte(oct[0]), byte(oct[1]), byte(oct[2]))
+	span := uint64(1) << uint(8*(4-len(parts)))
+	if hi64 := uint64(lo) + span; hi64 > uint64(^netsim.BlockID(0)) {
+		hi = ^netsim.BlockID(0)
+	} else {
+		hi = netsim.BlockID(hi64)
+	}
+	return lo, hi, nil
+}
+
+// parseUint parses a plain decimal in [0, max]: digits only, no sign, no
+// blank, at most as many digits as max has. Returns a bare error; callers
+// wrap it with ErrBadRequest context.
+func parseUint(s string, max int) (int, error) {
+	if s == "" {
+		return 0, errors.New("empty number")
+	}
+	if len(s) > len(fmt.Sprint(max)) {
+		return 0, fmt.Errorf("number %q too long", clip(s))
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("non-digit in %q", clip(s))
+		}
+		n = n*10 + int(c-'0')
+	}
+	if n > max {
+		return 0, fmt.Errorf("%d exceeds maximum %d", n, max)
+	}
+	return n, nil
+}
+
+// clip bounds attacker-controlled strings quoted into error messages.
+func clip(s string) string {
+	const keep = 32
+	if len(s) <= keep {
+		return s
+	}
+	return s[:keep] + "…"
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sleepnet/internal/netsim"
+)
+
+func TestParseRequestAccepts(t *testing.T) {
+	cases := []struct {
+		path, query string
+		want        Request
+	}{
+		{"/v1/status", "", Request{Kind: KindStatus}},
+		{"/v1/summary", "", Request{Kind: KindSummary}},
+		{"/v1/block/10.0.3", "", Request{Kind: KindBlock, Block: netsim.MakeBlockID(10, 0, 3)}},
+		{"/v1/block/255.255.255", "", Request{Kind: KindBlock, Block: netsim.MakeBlockID(255, 255, 255)}},
+		{"/v1/blocks", "", Request{Kind: KindRange, Lo: 0, Hi: ^netsim.BlockID(0), Limit: DefaultLimit}},
+		{"/v1/blocks", "prefix=10", Request{
+			Kind: KindRange, Lo: netsim.MakeBlockID(10, 0, 0), Hi: netsim.MakeBlockID(11, 0, 0), Limit: DefaultLimit}},
+		{"/v1/blocks", "prefix=10.2", Request{
+			Kind: KindRange, Lo: netsim.MakeBlockID(10, 2, 0), Hi: netsim.MakeBlockID(10, 3, 0), Limit: DefaultLimit}},
+		{"/v1/blocks", "prefix=10.2.3&down=true&limit=7", Request{
+			Kind: KindRange, Lo: netsim.MakeBlockID(10, 2, 3), Hi: netsim.MakeBlockID(10, 2, 3) + 1<<8,
+			Limit: 7, OnlyDown: true}},
+		// The top prefix's window must clamp, not wrap.
+		{"/v1/blocks", "prefix=255", Request{
+			Kind: KindRange, Lo: netsim.MakeBlockID(255, 0, 0), Hi: ^netsim.BlockID(0), Limit: DefaultLimit}},
+		{"/v1/blocks", "down=0", Request{Kind: KindRange, Lo: 0, Hi: ^netsim.BlockID(0), Limit: DefaultLimit}},
+	}
+	for _, c := range cases {
+		got, err := ParseRequest(c.path, c.query)
+		if err != nil {
+			t.Errorf("ParseRequest(%q, %q): %v", c.path, c.query, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseRequest(%q, %q) = %+v, want %+v", c.path, c.query, got, c.want)
+		}
+	}
+}
+
+func TestParseRequestRejects(t *testing.T) {
+	cases := []struct{ path, query string }{
+		{"/", ""},
+		{"/v1", ""},
+		{"/v1/blocks/", ""},
+		{"/v1/block/", ""},
+		{"/v1/block/10.0", ""},
+		{"/v1/block/10.0.0.0", ""},
+		{"/v1/block/10.0.256", ""},
+		{"/v1/block/10.0.-1", ""},
+		{"/v1/block/10.0.+1", ""},
+		{"/v1/block/a.b.c", ""},
+		{"/v1/block/10.0.3", "x=1"},  // lookup takes no params
+		{"/v1/status", "verbose=1"},  // status takes no params
+		{"/v1/summary", "full=true"}, // summary takes no params
+		{"/v1/blocks", "prefix="},
+		{"/v1/blocks", "prefix=10.2.3.4"},
+		{"/v1/blocks", "prefix=300"},
+		{"/v1/blocks", "down=maybe"},
+		{"/v1/blocks", "limit=0"},
+		{"/v1/blocks", "limit=-5"},
+		{"/v1/blocks", "limit=10001"},
+		{"/v1/blocks", "limit=99999999999999999999"},
+		{"/v1/blocks", "unknown=1"},
+		{"/v1/blocks", "prefix=10&prefix"},
+		{"/v1/block/" + strings.Repeat("1", 200), ""},           // oversized path
+		{"/v1/blocks", "prefix=" + strings.Repeat("1&", 200)},   // oversized query
+		{"/v1/block/\x00\xff.\x01.\x02", ""},                    // binary garbage
+		{"/v1/blocks", "down=true\r\nX-Injected: 1&prefix=1.2"}, // header-injection shape
+	}
+	for _, c := range cases {
+		if _, err := ParseRequest(c.path, c.query); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("ParseRequest(%q, %q): err = %v, want ErrBadRequest", c.path, c.query, err)
+		}
+	}
+}
+
+// FuzzParseRequest holds the parser to its contract: never panic, and
+// either return a valid typed Request or an error wrapping ErrBadRequest —
+// nothing in between.
+func FuzzParseRequest(f *testing.F) {
+	f.Add("/v1/status", "")
+	f.Add("/v1/summary", "")
+	f.Add("/v1/block/10.0.3", "")
+	f.Add("/v1/blocks", "prefix=10.2&down=true&limit=7")
+	f.Add("/v1/blocks", "prefix=255")
+	f.Add("/v1/block/999.0.0", "")
+	f.Add("/v1/blocks", "limit=99999999999999999999")
+	f.Add("/v1/block/%2e%2e/etc/passwd", "")
+	f.Add("/v1/blocks", "prefix=1.2.3.4.5")
+	f.Add(strings.Repeat("/v1", 100), strings.Repeat("&", 300))
+	f.Fuzz(func(t *testing.T, path, query string) {
+		req, err := ParseRequest(path, query)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("error does not wrap ErrBadRequest: %v", err)
+			}
+			return
+		}
+		switch req.Kind {
+		case KindStatus, KindSummary, KindBlock:
+		case KindRange:
+			if req.Limit <= 0 || req.Limit > MaxLimit {
+				t.Fatalf("accepted range with limit %d", req.Limit)
+			}
+			if req.Lo > req.Hi {
+				t.Fatalf("accepted inverted range [%v, %v)", req.Lo, req.Hi)
+			}
+		default:
+			t.Fatalf("accepted request with impossible kind %d", req.Kind)
+		}
+	})
+}
