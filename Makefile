@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint check fuzz fuzz-rdns fuzz-wal fuzz-serve monitor-chaos serve-chaos bench benchdiff loadgen
+.PHONY: all build vet test race lint check agree fuzz fuzz-rdns fuzz-wal fuzz-serve monitor-chaos serve-chaos bench benchdiff loadgen
 
 all: check
 
@@ -25,9 +25,17 @@ race:
 lint:
 	$(GO) run ./cmd/sleeplint ./...
 
-# check is the CI gate: vet, build, sleeplint, and the full test suite under
-# the race detector.
-check: vet build lint race
+# agree runs the streaming-vs-batch agreement gate: the seeded sweep's
+# confusion matrices must clear the committed accuracy contract
+# (internal/agree/contract.go) and the report must be byte-identical across
+# same-seed runs. -count=1 defeats the test cache so the gate always
+# re-measures.
+agree:
+	$(GO) test -count=1 -run='TestAgreementContract|TestAgreementGoldenDeterminism' ./internal/agree
+
+# check is the CI gate: vet, build, sleeplint, the full test suite under
+# the race detector, and the streaming-vs-batch agreement contract.
+check: vet build lint race agree
 
 # fuzz runs the icmp parser fuzzer for a short budget.
 fuzz:

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"sleepnet/internal/agree"
 	"sleepnet/internal/analysis"
 	"sleepnet/internal/core"
 	"sleepnet/internal/dsp"
@@ -40,6 +41,7 @@ var (
 	flagMetricsOut = flag.String("metricsout", "", "write the metrics snapshot as JSON to this file")
 	flagCPUProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
 	flagMemProfile = flag.String("memprofile", "", "write a pprof heap profile taken after the selected experiments to this file")
+	flagAgreeOut   = flag.String("agreeout", "", "write the agree experiment's report as JSON to this file")
 )
 
 // ctx lazily builds the shared world and study.
@@ -187,7 +189,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: experiments [flags] <all | ids...>")
 	fmt.Fprintln(os.Stderr, "ids: fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12")
 	fmt.Fprintln(os.Stderr, "     fig13 fig14 fig15 fig16 fig17 table1 table2 table3 table4 table5")
-	fmt.Fprintln(os.Stderr, "     outages census usc faults (extensions)")
+	fmt.Fprintln(os.Stderr, "     outages census usc faults agree (extensions)")
 	flag.PrintDefaults()
 }
 
@@ -205,7 +207,7 @@ func experimentRunners() map[string]func(*ctx) {
 		// application (§5.6), campus validation, and the fault-injection
 		// robustness sweep.
 		"outages": outages, "census": census, "usc": usc,
-		"faults": faultsweep,
+		"faults": faultsweep, "agree": agreement,
 	}
 }
 
@@ -829,6 +831,33 @@ func faultsweep(c *ctx) {
 	fmt.Print(report.Table([]string{"faults", "measured", "partial", "quarantined", "strict agree", "either agree"}, rows))
 	fmt.Println("(the resilient probe path keeps agreement near the fault-free baseline")
 	fmt.Println(" at deployment-realistic loss; heavy rate limiting degrades via quarantine)")
+}
+
+func agreement(c *ctx) {
+	fmt.Println("Extension: streaming-vs-batch classifier agreement (confusion matrices")
+	fmt.Println("per world scenario × fault level; batch FFT pipeline is the oracle)")
+	cfg := agree.Config{Seed: *flagSeed}
+	if *flagQuick {
+		cfg.Blocks, cfg.Days = 90, 5
+	}
+	rep, err := agree.Run(cfg)
+	must(err)
+	fmt.Print(rep.Markdown())
+	if bad := agree.DefaultContract().Check(rep); len(bad) != 0 {
+		fmt.Println("\ncontract VIOLATED:")
+		for _, b := range bad {
+			fmt.Println("  -", b)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\ncontract: PASS (thresholds in internal/agree/contract.go)")
+	if *flagAgreeOut != "" {
+		f, err := os.Create(*flagAgreeOut)
+		must(err)
+		must(rep.WriteJSON(f))
+		must(f.Close())
+		fmt.Printf("agreement report written to %s\n", *flagAgreeOut)
+	}
 }
 
 func fig17(c *ctx) {

@@ -1,0 +1,152 @@
+package agree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sleepnet/internal/world"
+)
+
+// gateConfig is the sweep the CI `agreement` job gates on: the full default
+// scenario × fault-level grid at a population small enough to keep the job
+// in tens of seconds but large enough that the agreement fractions are
+// stable against single-block flips.
+func gateConfig() Config {
+	return Config{
+		Seed:   42,
+		Blocks: 90,
+		Days:   5,
+	}
+}
+
+// TestAgreementContract is the gated accuracy contract: the seeded sweep's
+// clean-world agreement with the batch FFT oracle must clear the committed
+// thresholds, and every faulted condition must degrade gracefully rather
+// than collapse. CI runs this in the `agreement` job (make agree); a
+// streaming-classifier change that diverges from the batch oracle fails
+// here instead of shipping.
+func TestAgreementContract(t *testing.T) {
+	rep, err := Run(gateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.Markdown())
+	if bad := DefaultContract().Check(rep); len(bad) != 0 {
+		t.Fatalf("agreement contract violated:\n  %s", strings.Join(bad, "\n  "))
+	}
+}
+
+// TestAgreementGoldenDeterminism extends the same-seed byte-identity suite
+// to the agreement harness: the confusion-matrix JSON of a small seeded
+// sweep must be byte-identical across runs, regardless of worker
+// scheduling. This is what makes the committed report an artifact rather
+// than a snapshot of one lucky run.
+func TestAgreementGoldenDeterminism(t *testing.T) {
+	cfg := Config{
+		Seed:       7,
+		Blocks:     40,
+		Days:       3,
+		LossRates:  []float64{0.05},
+		RateLimits: []int{},
+		Scenarios: []Scenario{
+			{Name: "clean"},
+			{Name: "outage-heavy", World: world.Config{OutagesPerBlockWeek: 0.5}},
+		},
+		Workers: 4,
+	}
+	render := func() []byte {
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := render()
+	b := render()
+	if !bytes.Equal(a, b) {
+		t.Errorf("agreement reports differ across same-seed runs:\n%s\nvs\n%s", a, b)
+	}
+	if !bytes.Contains(a, []byte(`"confusion"`)) || !bytes.Contains(a, []byte(`"outage-heavy"`)) {
+		t.Fatalf("report missing expected structure:\n%s", a)
+	}
+}
+
+// TestConfusionDerivedMetrics pins the matrix arithmetic the contract
+// depends on against a hand-built matrix.
+func TestConfusionDerivedMetrics(t *testing.T) {
+	var c Confusion
+	// 10 strict/strict, 2 strict/relaxed, 1 strict/non, 1 strict/unknown,
+	// 3 relaxed/relaxed, 2 relaxed/non, 20 non/non, 1 non/strict.
+	c.M[rowStrict][colStrict] = 10
+	c.M[rowStrict][colRelaxed] = 2
+	c.M[rowStrict][colNon] = 1
+	c.M[rowStrict][colUnknown] = 1
+	c.M[rowRelaxed][colRelaxed] = 3
+	c.M[rowRelaxed][colNon] = 2
+	c.M[rowNon][colNon] = 20
+	c.M[rowNon][colStrict] = 1
+
+	if got := c.Total(); got != 40 {
+		t.Fatalf("Total = %d, want 40", got)
+	}
+	if got := c.Decided(); got != 39 {
+		t.Fatalf("Decided = %d, want 39", got)
+	}
+	wantClass := float64(10+3+20) / 39
+	if got := c.ClassAgree(); got != wantClass {
+		t.Fatalf("ClassAgree = %v, want %v", got, wantClass)
+	}
+	// either-agree: strict row strict+relaxed (12) + relaxed row
+	// strict+relaxed (3) + non/non (20) = 35 of 39 decided.
+	wantEither := float64(35) / 39
+	if got := c.EitherAgree(); got != wantEither {
+		t.Fatalf("EitherAgree = %v, want %v", got, wantEither)
+	}
+	// strict-agree: strict/strict (10) + relaxed row relaxed+non (5) +
+	// non row relaxed+non (20) = 35 of 39 decided (non/strict and the
+	// strict row's relaxed+non misses disagree on the strict boundary).
+	wantStrict := float64(35) / 39
+	if got := c.StrictAgree(); got != wantStrict {
+		t.Fatalf("StrictAgree = %v, want %v", got, wantStrict)
+	}
+	if got := c.UnknownFrac(); got != float64(1)/40 {
+		t.Fatalf("UnknownFrac = %v, want 1/40", got)
+	}
+}
+
+// TestContractFlagsViolations ensures the gate actually fires: a report
+// with a collapsed clean condition must produce violations.
+func TestContractFlagsViolations(t *testing.T) {
+	rep := &Report{Conditions: []Condition{{
+		Scenario: "clean", Fault: "fault-free",
+		Compared:    50,
+		ClassAgree:  0.10,
+		StrictAgree: 0.20,
+		UnknownFrac: 0.50,
+	}}}
+	bad := DefaultContract().Check(rep)
+	if len(bad) < 3 {
+		t.Fatalf("expected >= 3 violations, got %d: %v", len(bad), bad)
+	}
+	if got := DefaultContract().Check(&Report{}); len(got) != 1 {
+		t.Fatalf("empty report should fail with exactly the missing-baseline violation, got %v", got)
+	}
+}
+
+// TestQuantilesNeverNaN guards the JSON goldenness: empty distributions
+// must summarize to zeros, not NaN (which encoding/json rejects).
+func TestQuantilesNeverNaN(t *testing.T) {
+	q := summarize(nil)
+	if q != (Quantiles{}) {
+		t.Fatalf("summarize(nil) = %+v, want zero", q)
+	}
+	q = summarize([]float64{3})
+	if q.N != 1 || q.P50 != 3 || q.P90 != 3 || q.Max != 3 {
+		t.Fatalf("summarize([3]) = %+v", q)
+	}
+}

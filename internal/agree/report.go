@@ -1,0 +1,86 @@
+package agree
+
+// report.go — deterministic serialization of an agreement report. The JSON
+// form is the golden artifact: same Config, byte-identical output (struct
+// field order is fixed, every float is a pure function of the seeded run,
+// and no NaN/Inf can reach the encoder). The markdown form is for humans
+// and the experiments CLI.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"sleepnet/internal/report"
+)
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return fmt.Errorf("agree: marshal report: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Markdown renders the report: one agreement-summary table over all
+// conditions, then each condition's confusion matrix and distributions.
+func (r *Report) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "agreement sweep: %d blocks requested per world, %d days, seed %d, classify floor %d rounds\n\n",
+		r.Blocks, r.Days, r.Seed, r.MinClassify)
+
+	rows := make([][]string, 0, len(r.Conditions))
+	for i := range r.Conditions {
+		c := &r.Conditions[i]
+		rows = append(rows, []string{
+			c.Scenario, c.Fault,
+			fmt.Sprint(c.Compared), fmt.Sprint(c.Quarantined),
+			report.Pct(c.ClassAgree), report.Pct(c.StrictAgree),
+			report.Pct(c.EitherAgree), report.Pct(c.UnknownFrac),
+			quantCell(c.SleepDeltaHours, "h"),
+			quantCell(c.RoundsToStable, ""),
+		})
+	}
+	sb.WriteString(report.Table([]string{
+		"scenario", "faults", "compared", "quar",
+		"class agree", "strict agree", "either agree", "unknown",
+		"sleep Δ p50/p90", "stable p50/p90",
+	}, rows))
+
+	for i := range r.Conditions {
+		c := &r.Conditions[i]
+		fmt.Fprintf(&sb, "\n%s × %s — confusion (batch oracle rows × streaming cols, %d blocks):\n",
+			c.Scenario, c.Fault, c.Compared)
+		mrows := make([][]string, numRows)
+		for ri := 0; ri < numRows; ri++ {
+			mrows[ri] = []string{RowNames[ri]}
+			for ci := 0; ci < numCols; ci++ {
+				mrows[ri] = append(mrows[ri], fmt.Sprint(c.Confusion.M[ri][ci]))
+			}
+		}
+		sb.WriteString(report.Table(append([]string{"batch \\ stream"}, ColNames[:]...), mrows))
+		fmt.Fprintf(&sb, "phase err (rad): %s   sleep Δ (h): %s   rounds-to-stable: %s\n",
+			quantFull(c.PhaseErrRad), quantFull(c.SleepDeltaHours), quantFull(c.RoundsToStable))
+	}
+	return sb.String()
+}
+
+// quantCell compresses a Quantiles to "p50/p90" for the summary table.
+func quantCell(q Quantiles, unit string) string {
+	if q.N == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f/%.2f%s", q.P50, q.P90, unit)
+}
+
+// quantFull renders a Quantiles with its sample count.
+func quantFull(q Quantiles) string {
+	if q.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("p50 %.3f p90 %.3f max %.3f (n=%d)", q.P50, q.P90, q.Max, q.N)
+}

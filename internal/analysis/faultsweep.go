@@ -82,42 +82,19 @@ func FaultSweep(cfg FaultSweepConfig) ([]FaultSweepPoint, error) {
 		return nil, err
 	}
 
-	runs := []struct {
-		label string
-		fc    faults.Config
-	}{{label: "fault-free"}}
-	for _, lr := range cfg.LossRates {
-		if lr <= 0 {
-			continue
-		}
-		runs = append(runs, struct {
-			label string
-			fc    faults.Config
-		}{fmt.Sprintf("loss=%g%%", lr*100), faults.Config{Seed: cfg.Seed ^ 0xfa17, LossRate: lr}})
-	}
-	for _, rl := range cfg.RateLimits {
-		if rl <= 0 {
-			continue
-		}
-		runs = append(runs, struct {
-			label string
-			fc    faults.Config
-		}{fmt.Sprintf("ratelimit=%d/round", rl), faults.Config{Seed: cfg.Seed ^ 0xfa17, RateLimitPerRound: rl}})
-	}
-
 	var points []FaultSweepPoint
-	for _, run := range runs {
+	for _, lvl := range faults.SweepLevels(cfg.Seed, cfg.LossRates, cfg.RateLimits) {
 		st, err := MeasureWorld(w, StudyConfig{
 			Days:    cfg.Days,
 			Seed:    cfg.Seed,
 			Workers: cfg.Workers,
-			Faults:  run.fc,
+			Faults:  lvl.Config,
 			Retry:   cfg.Retry,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", run.label, err)
+			return nil, fmt.Errorf("%s: %w", lvl.Label, err)
 		}
-		points = append(points, scoreStudy(run.label, st, truth))
+		points = append(points, scoreStudy(lvl.Label, st, truth))
 	}
 	return points, nil
 }

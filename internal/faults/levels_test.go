@@ -1,0 +1,34 @@
+package faults
+
+import "testing"
+
+// TestSweepLevels pins the shared sweep plan both the fault sweep and the
+// agreement harness iterate: baseline first, stable labels, zeros skipped,
+// injector seeds decorrelated from the simulation seed.
+func TestSweepLevels(t *testing.T) {
+	levels := SweepLevels(42, []float64{0, 0.02, 0.10}, []int{4, 0})
+	wantLabels := []string{"fault-free", "loss=2%", "loss=10%", "ratelimit=4/round"}
+	if len(levels) != len(wantLabels) {
+		t.Fatalf("got %d levels, want %d: %+v", len(levels), len(wantLabels), levels)
+	}
+	for i, want := range wantLabels {
+		if levels[i].Label != want {
+			t.Errorf("level %d label = %q, want %q", i, levels[i].Label, want)
+		}
+	}
+	if levels[0].Config.Active() {
+		t.Error("baseline level must be fault-free")
+	}
+	for _, lvl := range levels[1:] {
+		if !lvl.Config.Active() {
+			t.Errorf("%s: config inactive", lvl.Label)
+		}
+		if lvl.Config.Seed == 42 {
+			t.Errorf("%s: injector seed not decorrelated from simulation seed", lvl.Label)
+		}
+	}
+
+	if got := SweepLevels(7, nil, nil); len(got) != 1 || got[0].Label != "fault-free" {
+		t.Fatalf("empty sweep = %+v, want just the baseline", got)
+	}
+}

@@ -24,12 +24,10 @@
 package serve
 
 import (
-	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"sleepnet/internal/analysis"
 	"sleepnet/internal/metrics"
 	"sleepnet/internal/monitor"
 	"sleepnet/internal/netsim"
@@ -77,57 +75,6 @@ const (
 	flatVariance = 1e-9
 )
 
-// dftAcc is one block's incremental spectral state: running DFT sums at the
-// diurnal frequency and its first harmonic, plus the series moments. All
-// updates happen in round order, so a state rebuilt from the committed
-// series (resync) is bit-identical to one accumulated incrementally — the
-// property the crash-equivalence test pins.
-type dftAcc struct {
-	re1, im1 float64
-	re2, im2 float64
-	sum      float64
-	sumsq    float64
-	n        int32
-}
-
-func (a *dftAcc) add(v, c1, s1, c2, s2 float64) {
-	a.re1 += v * c1
-	a.im1 += v * s1
-	a.re2 += v * c2
-	a.im2 += v * s2
-	a.sum += v
-	a.sumsq += v * v
-	a.n++
-}
-
-// classify derives (class, phase) from the accumulated state. Pure and
-// deterministic: same accumulator, same answer.
-func (a *dftAcc) classify(minRounds int) (DiurnalClass, float64) {
-	if int(a.n) < minRounds || a.n == 0 {
-		return ClassUnknown, 0
-	}
-	n := float64(a.n)
-	mean := a.sum / n
-	variance := a.sumsq/n - mean*mean
-	if variance < flatVariance {
-		return ClassNonDiurnal, 0
-	}
-	phase := math.Atan2(a.im1, a.re1)
-	amp1 := 2 * math.Hypot(a.re1, a.im1) / n
-	amp2 := 2 * math.Hypot(a.re2, a.im2) / n
-	// A sinusoid of amplitude A contributes A²/2 to the variance.
-	share1 := amp1 * amp1 / 2 / variance
-	share2 := amp2 * amp2 / 2 / variance
-	switch {
-	case share1 >= strictShare && amp1 >= 2*amp2:
-		return ClassStrict, phase
-	case share1+share2 >= relaxedShare:
-		return ClassRelaxed, phase
-	default:
-		return ClassNonDiurnal, phase
-	}
-}
-
 // shardState is the writer-side mirror of one monitor shard, owned by the
 // engine mutex.
 type shardState struct {
@@ -139,7 +86,7 @@ type shardState struct {
 	long        []float64
 	down        []bool
 	failed      []int32
-	acc         []dftAcc
+	acc         []StreamAcc
 }
 
 // engineMetrics caches the engine's instruments (all no-ops without a
@@ -180,13 +127,13 @@ type Engine struct {
 	cfg EngineConfig
 	met *engineMetrics
 
-	mu             sync.Mutex // writer state below; readers never take it
-	info           monitor.RunInfo
-	began          bool
-	shards         []*shardState
-	cyclesPerRound float64
-	minClassify    int
-	sealedRound    int
+	mu          sync.Mutex // writer state below; readers never take it
+	info        monitor.RunInfo
+	began       bool
+	shards      []*shardState
+	basis       Basis
+	minClassify int
+	sealedRound int
 
 	storeMu sync.Mutex // orders epoch stores from concurrent seals
 
@@ -211,22 +158,13 @@ func (e *Engine) BeginRun(info monitor.RunInfo) {
 	e.info = info
 	e.began = true
 	e.shards = make([]*shardState, info.Shards)
-	e.cyclesPerRound = info.Period.Seconds() / (24 * 60 * 60)
+	e.basis = NewBasis(info.Period)
 	e.minClassify = e.cfg.MinClassifyRounds
 	if e.minClassify <= 0 {
-		e.minClassify = int(math.Ceil(1 / e.cyclesPerRound)) // one virtual day
+		e.minClassify = e.basis.DefaultMinClassify() // one virtual day
 	}
 	e.sealedRound = -1
 	e.totalRounds.Store(int64(info.Rounds))
-}
-
-// waves returns the DFT basis at round r for the fundamental (1 cycle/day)
-// and first harmonic. Both the incremental and the resync path call this,
-// so their float operation sequences — and therefore their results — are
-// identical.
-func (e *Engine) waves(r int) (c1, s1, c2, s2 float64) {
-	theta := -2 * math.Pi * e.cyclesPerRound * float64(r)
-	return math.Cos(theta), math.Sin(theta), math.Cos(2 * theta), math.Sin(2 * theta)
 }
 
 // ResyncShard implements monitor.EpochSink: it replaces the shard's mirror
@@ -247,7 +185,7 @@ func (e *Engine) ResyncShard(shard, nextRound int, blocks []monitor.PubBlock) {
 		long:   make([]float64, len(blocks)),
 		down:   make([]bool, len(blocks)),
 		failed: make([]int32, len(blocks)),
-		acc:    make([]dftAcc, len(blocks)),
+		acc:    make([]StreamAcc, len(blocks)),
 	}
 	for i := range blocks {
 		b := &blocks[i]
@@ -262,10 +200,10 @@ func (e *Engine) ResyncShard(shard, nextRound int, blocks []monitor.PubBlock) {
 	// Rebuild the spectral accumulators round-major so the float op order
 	// matches incremental publication exactly.
 	for r := 0; r < nextRound; r++ {
-		c1, s1, c2, s2 := e.waves(r)
+		c1, s1, c2, s2 := e.basis.Waves(r)
 		for i := range blocks {
 			if r < len(blocks[i].Short) {
-				st.acc[i].add(blocks[i].Short[r], c1, s1, c2, s2)
+				st.acc[i].Add(blocks[i].Short[r], c1, s1, c2, s2)
 			}
 		}
 	}
@@ -296,12 +234,12 @@ func (e *Engine) PublishRound(shard, round int, deltas []monitor.RoundPub) {
 		e.mu.Unlock()
 		return
 	}
-	c1, s1, c2, s2 := e.waves(round)
+	c1, s1, c2, s2 := e.basis.Waves(round)
 	for i := range deltas {
 		d := &deltas[i]
 		st.avail[i] = d.Avail
 		st.long[i] = d.Long
-		st.acc[i].add(d.Avail, c1, s1, c2, s2)
+		st.acc[i].Add(d.Avail, c1, s1, c2, s2)
 		switch d.Event {
 		case monitor.PubEventDown:
 			st.down[i] = true
@@ -381,7 +319,7 @@ func (e *Engine) sealLocked() *Epoch {
 		long:        make([]float64, 0, total),
 		down:        make([]bool, 0, total),
 		failed:      make([]int32, 0, total),
-		acc:         make([]dftAcc, 0, total),
+		acc:         make([]StreamAcc, 0, total),
 		class:       make([]DiurnalClass, total),
 		phase:       make([]float64, total),
 		peakUTC:     make([]float64, total),
@@ -409,19 +347,15 @@ func (e *Engine) finishSeal(ep *Epoch) {
 	if ep == nil {
 		return
 	}
-	startHour := float64(ep.Start.UTC().Hour()) +
-		float64(ep.Start.UTC().Minute())/60 +
-		float64(ep.Start.UTC().Second())/3600
+	startHour := startOfDayHour(ep.Start)
 	for i := range ep.acc {
-		class, phase := ep.acc[i].classify(ep.minClassify)
+		class, phase := ep.acc[i].Classify(ep.minClassify)
 		ep.class[i] = class
 		if class == ClassStrict || class == ClassRelaxed {
 			ep.phase[i] = phase
-			// UTCPeakHour maps the phase to hours after series start; shift
-			// by the campaign's start-of-day offset to get UTC time-of-day.
-			peak := math.Mod(analysis.UTCPeakHour(phase)+startHour, 24)
-			ep.peakUTC[i] = peak
-			ep.sleepUTC[i] = math.Mod(peak+12, 24)
+			// peakSleepUTC maps the phase (hours after series start) through
+			// the campaign's start-of-day offset to UTC time-of-day.
+			ep.peakUTC[i], ep.sleepUTC[i] = peakSleepUTC(phase, startHour)
 		}
 	}
 	ep.acc = nil // classification done; drop the accumulator copy

@@ -48,7 +48,7 @@ type Epoch struct {
 
 	// acc carries the accumulator copies from seal to classification and is
 	// dropped afterwards.
-	acc         []dftAcc
+	acc         []StreamAcc
 	minClassify int
 }
 
