@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint check agree fuzz fuzz-rdns fuzz-wal fuzz-serve monitor-chaos serve-chaos bench benchdiff loadgen
+.PHONY: all build vet test race lint lint-fixtures check agree fuzz fuzz-rdns fuzz-wal fuzz-serve monitor-chaos serve-chaos bench benchdiff loadgen
 
 all: check
 
@@ -21,9 +21,18 @@ race:
 	$(GO) test -race -timeout 30m ./...
 
 # lint runs the repo's own static analyzer (cmd/sleeplint) over the whole
-# module; it exits nonzero on any finding.
+# module in audit mode: any rule finding or stale //lint:allow directive
+# exits nonzero.
 lint:
-	$(GO) run ./cmd/sleeplint ./...
+	$(GO) run ./cmd/sleeplint -allows ./...
+
+# lint-fixtures re-runs the analyzer's own acceptance tests: the golden
+# fixture packages (each broken fixture must trigger exactly its `want`
+# lines), rule isolation under -rules filtering, and the end-to-end
+# meta-test that the built binary exits 1 on every broken fixture.
+lint-fixtures:
+	$(GO) test -count=1 -run='TestFixturesGolden|TestRuleIsolation' ./internal/lint
+	$(GO) test -count=1 -run='TestFixtureExitCodes' ./cmd/sleeplint
 
 # agree runs the streaming-vs-batch agreement gate: the seeded sweep's
 # confusion matrices must clear the committed accuracy contract

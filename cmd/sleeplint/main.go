@@ -1,16 +1,27 @@
 // Command sleeplint runs sleepnet's static-analysis suite: stdlib-only
 // rules that keep the pipeline reproducible (seeded randomness, no
 // wall-clock reads in output paths, deterministic map emission, epsilon
-// float comparison, handled errors). Any finding exits nonzero, so CI can
-// use it as a hard gate:
+// float comparison, handled errors) and, via the flow rules, enforce the
+// concurrency, aliasing, and durability contracts (lock balance, atomic
+// discipline, call-scoped buffers, fsync-before-rename, hot-path
+// allocation budgets, goroutine cancellation). Any finding exits nonzero,
+// so CI can use it as a hard gate:
 //
-//	sleeplint [-rules norand,floateq,...] [-json] [packages]
+//	sleeplint [-rules norand,floateq,...] [-allows] [-j N] [-json] [packages]
 //
 // Packages follow the go tool shape ("./...", "./internal/world"); the
 // default is "./...". Findings print as file:line:col [rule] message with
 // a suggested fix. Suppress a single finding with a justified directive:
 //
 //	//lint:allow <rule>: <why the invariant holds here>
+//
+// -allows audits the escape hatches instead of trusting them: every allow
+// directive is listed with its location, rule, and justification, and an
+// allow that no longer suppresses anything is itself a finding — stale
+// exemptions must be deleted, not accumulated.
+//
+// -j N type-checks packages on N parallel workers (default: one per CPU,
+// capped at 8). Output is byte-identical for every worker count.
 package main
 
 import (
@@ -19,14 +30,26 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"sleepnet/internal/lint"
 )
 
+// jsonReport is the -json output shape: the findings, the audited allow
+// directives (in -allows mode), and the wall time of the run.
+type jsonReport struct {
+	Findings []lint.Finding `json:"findings"`
+	Allows   []lint.Allow   `json:"allows,omitempty"`
+	WallMS   int64          `json:"wall_ms"`
+}
+
 func main() {
 	rulesSpec := flag.String("rules", "", "comma-separated rule subset (default: all)")
-	asJSON := flag.Bool("json", false, "emit findings as JSON")
+	asJSON := flag.Bool("json", false, "emit findings (and -allows audit) as a JSON object")
 	list := flag.Bool("list", false, "list registered rules and exit")
+	audit := flag.Bool("allows", false, "audit //lint:allow directives: list all, flag stale ones as findings")
+	workers := flag.Int("j", defaultWorkers(), "parallel type-check workers")
 	flag.Parse()
 
 	if *list {
@@ -46,22 +69,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sleeplint:", err)
 		os.Exit(2)
 	}
-	pkgs, err := lint.LoadModule(cwd, flag.Args())
+	//lint:allow nowallclock: measures the lint run itself for the -json report; no simulation output depends on it
+	start := time.Now()
+	pkgs, err := lint.LoadModuleParallel(cwd, flag.Args(), *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sleeplint:", err)
 		os.Exit(2)
 	}
-	findings := lint.Run(pkgs, rules)
+
+	var findings []lint.Finding
+	var allows []lint.Allow
+	if *audit {
+		findings, allows = lint.RunAudit(pkgs, rules)
+	} else {
+		findings = lint.Run(pkgs, rules)
+	}
+	//lint:allow nowallclock: measures the lint run itself for the -json report; no simulation output depends on it
+	wall := time.Since(start)
 	relativize(findings, cwd)
+	for i := range allows {
+		allows[i].File = relPath(allows[i].File, cwd)
+	}
 
 	if *asJSON {
+		if findings == nil {
+			findings = []lint.Finding{} // encode as [], not null
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(jsonReport{Findings: findings, Allows: allows, WallMS: wall.Milliseconds()}); err != nil {
 			fmt.Fprintln(os.Stderr, "sleeplint:", err)
 			os.Exit(2)
 		}
 	} else {
+		if *audit {
+			for _, a := range allows {
+				status := "live"
+				if !a.Used {
+					status = "STALE"
+				}
+				fmt.Printf("%s:%d: allow %s (%s): %s\n", a.File, a.Line, a.Rule, status, a.Justification)
+			}
+			fmt.Fprintf(os.Stderr, "sleeplint: %d allow directive(s)\n", len(allows))
+		}
 		for _, f := range findings {
 			fmt.Println(f)
 		}
@@ -74,12 +124,31 @@ func main() {
 	}
 }
 
+// defaultWorkers bounds the type-check pool: one per CPU, capped — the
+// source importer re-checks shared dependencies per worker, so returns
+// diminish past a handful.
+func defaultWorkers() int {
+	n := runtime.NumCPU()
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // relativize rewrites finding paths relative to the working directory for
 // readable, clickable output.
 func relativize(findings []lint.Finding, cwd string) {
 	for i := range findings {
-		if rel, err := filepath.Rel(cwd, findings[i].File); err == nil && !filepath.IsAbs(rel) {
-			findings[i].File = rel
-		}
+		findings[i].File = relPath(findings[i].File, cwd)
 	}
+}
+
+func relPath(path, cwd string) string {
+	if rel, err := filepath.Rel(cwd, path); err == nil && !filepath.IsAbs(rel) {
+		return rel
+	}
+	return path
 }

@@ -7,6 +7,7 @@ import (
 	"os"
 	"sync"
 
+	"sleepnet/internal/durable"
 	"sleepnet/internal/netsim"
 	"sleepnet/internal/world"
 )
@@ -127,10 +128,18 @@ func openCheckpoint(path string, w *world.World, sc StudyConfig, study *Study) (
 		_ = f.Close() // best effort on the error path; the temp file is abandoned
 		return nil, nil, fmt.Errorf("analysis: checkpoint: %w", err)
 	}
+	// The rename only makes the rewrite durable if the temp file hits disk
+	// first and the directory entry after (caught by sleeplint fsyncorder:
+	// a crash between rename and dir sync could lose the recovered lines
+	// the comment above promises to keep).
+	if err := f.Sync(); err != nil {
+		_ = f.Close() // best effort on the error path; the temp file is abandoned
+		return nil, nil, fmt.Errorf("analysis: checkpoint: %w", err)
+	}
 	if err := f.Close(); err != nil {
 		return nil, nil, fmt.Errorf("analysis: checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := durable.Rename(tmp, path); err != nil {
 		return nil, nil, fmt.Errorf("analysis: checkpoint: %w", err)
 	}
 	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)

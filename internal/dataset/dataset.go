@@ -19,6 +19,7 @@ import (
 
 	"sleepnet/internal/analysis"
 	"sleepnet/internal/core"
+	"sleepnet/internal/durable"
 	"sleepnet/internal/metrics"
 )
 
@@ -151,6 +152,9 @@ func Read(r io.Reader) (*Dataset, error) {
 }
 
 // Save writes the dataset to a file, atomically via a temp file rename.
+// The temp file is fsynced before the rename and the directory after it
+// (via durable.Rename) so a power cut cannot leave the final path pointing
+// at a half-written dataset — the gap sleeplint's fsyncorder rule flagged.
 func (d *Dataset) Save(path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -162,11 +166,16 @@ func (d *Dataset) Save(path string) error {
 		_ = os.Remove(tmp) // temp file is already orphaned
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp) // temp file is already orphaned
+		return fmt.Errorf("dataset: %w", err)
+	}
 	if err := f.Close(); err != nil {
 		_ = os.Remove(tmp) // temp file is already orphaned
 		return fmt.Errorf("dataset: %w", err)
 	}
-	return os.Rename(tmp, path)
+	return durable.Rename(tmp, path)
 }
 
 // Load reads a dataset from a file.

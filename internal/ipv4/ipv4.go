@@ -81,6 +81,8 @@ func (h *Header) Marshal(payload []byte) ([]byte, error) {
 // and returns the extended slice. Passing a scratch slice with spare
 // capacity makes encoding allocation-free; the payload may not alias the
 // spare capacity of dst.
+//
+//lint:hotpath: per-packet encode path shares the probe 0 allocs/op budget
 func (h *Header) MarshalAppend(dst []byte, payload []byte) ([]byte, error) {
 	total := HeaderLen + len(payload)
 	if total > MaxPacket {
@@ -124,6 +126,9 @@ func Parse(b []byte) (*Header, []byte, error) {
 // ParseHeader decodes and validates a packet into the caller's header,
 // returning a view of the payload (not copied). It is the allocation-free
 // form of Parse.
+//
+//lint:hotpath: per-packet decode path shares the probe 0 allocs/op budget
+//lint:aliases return: the returned payload is a view into b, valid only while the caller's buffer is
 func ParseHeader(h *Header, b []byte) ([]byte, error) {
 	if len(b) < HeaderLen {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))

@@ -1,0 +1,312 @@
+package lint
+
+// aliasretain enforces the caller side of the zero-copy aliasing contract:
+// a value an API documents as call-scoped (via //lint:aliases on the
+// callee — e.g. the *Echo filled by icmp.ParseEchoInto, whose Payload
+// aliases the caller's reply buffer) must not outlive the call that
+// produced it. The buffer will be reused for the next packet; anything
+// retaining a view of it reads torn data later — the PR-5 reply-buffer
+// lifetime contract, previously enforced only by AllocsPerRun tests and
+// code review.
+//
+// The analysis is per calling function: call sites of annotated callees
+// seed a tainted-object set (annotated args, or assigned results for
+// `return` specs); taint propagates through assignments whose type can
+// carry a reference (slices, pointers, structs containing them — an int
+// copied out of a view is safe); and a violation is any sink that outlives
+// the function's current call frame: a store to a package variable, a
+// store through a field/pointer whose root is a parameter or receiver, a
+// channel send, or capture by a goroutine/escaping closure. Returning a
+// tainted value is deliberately not flagged: APIs like ParseEcho copy the
+// payload before returning, and object-level taint cannot see the
+// field-level untaint.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AliasRetain checks that //lint:aliases-annotated call-scoped values are
+// not retained beyond the call.
+type AliasRetain struct{}
+
+func (AliasRetain) Name() string { return "aliasretain" }
+func (AliasRetain) Doc() string {
+	return "values documented call-scoped via //lint:aliases must not be stored to fields, globals, channels, or escaping closures"
+}
+
+func (AliasRetain) Check(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkAliasRetain(p, fn.Type, fn.Recv, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkAliasRetain(p, fn.Type, nil, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// calleeAliasSpec resolves a call to an annotated callee's spec.
+func calleeAliasSpec(p *Pass, call *ast.CallExpr) *aliasSpec {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	return p.anns.aliasesFor(annKey(obj.Pkg().Path(), obj.Name()))
+}
+
+// aliasRoot resolves the object a view expression ultimately reads
+// through, unwrapping slicing, indexing, address-of, and dereference.
+func aliasRoot(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := p.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return p.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// carriesReference reports whether a value of type t can hold an alias of
+// another object's memory (directly or through struct/array fields).
+func carriesReference(t types.Type) bool {
+	return carriesRef(t, make(map[types.Type]bool))
+}
+
+func carriesRef(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesRef(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return carriesRef(u.Elem(), seen)
+	}
+	return false
+}
+
+func checkAliasRetain(p *Pass, ft *ast.FuncType, recv *ast.FieldList, body *ast.BlockStmt) {
+	// Seed: objects made call-scoped by annotated call sites in this body.
+	tainted := make(map[types.Object]bool)
+	taint := func(obj types.Object) {
+		if obj != nil {
+			tainted[obj] = true
+		}
+	}
+	inspectOwn(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		spec := calleeAliasSpec(p, call)
+		if spec == nil {
+			return true
+		}
+		for _, i := range spec.idx {
+			if i < len(call.Args) {
+				taint(aliasRoot(p, call.Args[i]))
+			}
+		}
+		return true
+	})
+	// `return`-annotated callees taint the variables their results land in.
+	inspectOwn(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if spec := calleeAliasSpec(p, call); spec != nil && spec.ret {
+			for _, lhs := range as.Lhs {
+				taint(aliasRoot(p, lhs))
+			}
+		}
+		return true
+	})
+	if len(tainted) == 0 {
+		return
+	}
+
+	// Parameters and the receiver are roots that outlive the call frame's
+	// locals: a store through them escapes to the caller's world.
+	outlives := make(map[types.Object]bool)
+	addParams := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, id := range f.Names {
+				if obj := p.Info.Defs[id]; obj != nil {
+					outlives[obj] = true
+				}
+			}
+		}
+	}
+	addParams(recv)
+	addParams(ft.Params)
+
+	isTainted := func(e ast.Expr) bool {
+		// append(x, tainted...) and conversions to string copy; the result
+		// of any other call is a fresh value.
+		if call, ok := e.(*ast.CallExpr); ok {
+			if isBuiltinAppend(p, call) && len(call.Args) > 0 {
+				return tainted[aliasRoot(p, call.Args[0])]
+			}
+			return false
+		}
+		obj := aliasRoot(p, e)
+		if obj == nil || !tainted[obj] {
+			return false
+		}
+		if t := p.TypeOf(e); t != nil && !carriesReference(t) {
+			return false // an int/bool copied out of a view is a copy
+		}
+		return true
+	}
+
+	// Propagate through local assignments until stable.
+	for changed := true; changed; {
+		changed = false
+		inspectOwn(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) || !isTainted(rhs) {
+					continue
+				}
+				if lobj := aliasRoot(p, as.Lhs[i]); lobj != nil && !tainted[lobj] && !outlives[lobj] {
+					if _, isIdent := as.Lhs[i].(*ast.Ident); isIdent {
+						tainted[lobj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	reportSink := func(n ast.Node, what, sink string) {
+		p.Report(n, "aliasretain",
+			fmt.Sprintf("%s is call-scoped (//lint:aliases) but %s, outliving the call that produced it", what, sink),
+			"copy the bytes you need (append to an owned buffer) before retaining")
+	}
+	describe := func(e ast.Expr) string {
+		return types.ExprString(e)
+	}
+
+	// Closures invoked inline run inside the frame; any other FuncLit
+	// capturing a tainted object escapes (stored, passed, returned). A
+	// go'd or deferred literal runs outside the producing call's scope, so
+	// those do not count as inline.
+	calledLits := make(map[*ast.FuncLit]bool)
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			deferred[s.Call] = true
+		case *ast.DeferStmt:
+			deferred[s.Call] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && !deferred[call] {
+			if lit, ok := call.Fun.(*ast.FuncLit); ok {
+				calledLits[lit] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) || !isTainted(rhs) {
+					continue
+				}
+				lhs := s.Lhs[i]
+				lobj := aliasRoot(p, lhs)
+				if lobj == nil {
+					continue
+				}
+				_, plainIdent := lhs.(*ast.Ident)
+				switch {
+				case lobj.Parent() == p.Pkg.Scope():
+					reportSink(s, describe(rhs), "is stored to package variable "+lobj.Name())
+				case !plainIdent && outlives[lobj]:
+					reportSink(s, describe(rhs), fmt.Sprintf("is stored through %s, which the caller retains", lobj.Name()))
+				}
+			}
+		case *ast.SendStmt:
+			if isTainted(s.Value) {
+				reportSink(s, describe(s.Value), "is sent on a channel")
+			}
+		case *ast.FuncLit:
+			if calledLits[s] {
+				return true
+			}
+			capturesTaint := false
+			ast.Inspect(s.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && !capturesTaint {
+					if obj := p.Info.Uses[id]; obj != nil && tainted[obj] {
+						capturesTaint = true
+					}
+				}
+				return !capturesTaint
+			})
+			if capturesTaint {
+				reportSink(s, "a call-scoped value", "is captured by an escaping closure")
+			}
+			return false
+		}
+		return true
+	})
+}

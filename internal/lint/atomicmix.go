@@ -1,0 +1,119 @@
+package lint
+
+// atomicmix enforces the all-or-nothing rule of sync/atomic: once any site
+// accesses a variable or field through atomic.Load*/Store*/Add*/Swap*/CAS,
+// every other access must go through sync/atomic too. A plain load races
+// with the atomic store it was supposed to synchronize with — the exact
+// bug class the serve epoch-pointer pattern avoids by using the typed
+// atomics (atomic.Pointer, atomic.Int64), which need no rule because the
+// type system already forbids plain access.
+//
+// Scope is the package: the set of atomically-accessed objects is
+// collected in a first walk, then every plain mention outside a sync/atomic
+// argument list is flagged.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix checks that atomically-accessed variables are never accessed
+// plainly.
+type AtomicMix struct{}
+
+func (AtomicMix) Name() string { return "atomicmix" }
+func (AtomicMix) Doc() string {
+	return "a variable accessed via sync/atomic anywhere must never be plainly loaded or stored"
+}
+
+// isAtomicFn reports whether call invokes a sync/atomic package function.
+func isAtomicFn(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" &&
+		obj.Parent() == obj.Pkg().Scope() // package funcs, not typed-atomic methods
+}
+
+// addressedObject resolves &x / &s.f to the object being addressed.
+func addressedObject(p *Pass, e ast.Expr) types.Object {
+	u, ok := e.(*ast.UnaryExpr)
+	if !ok || u.Op.String() != "&" {
+		return nil
+	}
+	switch x := u.X.(type) {
+	case *ast.Ident:
+		return p.Info.Uses[x]
+	case *ast.SelectorExpr:
+		if sel := p.Info.Selections[x]; sel != nil {
+			return sel.Obj()
+		}
+		return p.Info.Uses[x.Sel]
+	}
+	return nil
+}
+
+func (AtomicMix) Check(p *Pass) {
+	// Walk 1: objects whose address feeds a sync/atomic call, and the
+	// source ranges of those calls' argument lists (sanctioned mentions).
+	atomicObjs := make(map[types.Object]bool)
+	type span struct{ lo, hi int }
+	var sanctioned []span
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFn(p, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if obj := addressedObject(p, arg); obj != nil {
+					atomicObjs[obj] = true
+				}
+				sanctioned = append(sanctioned, span{int(arg.Pos()), int(arg.End())})
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+	inSanctioned := func(n ast.Node) bool {
+		pos := int(n.Pos())
+		for _, s := range sanctioned {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	// Walk 2: every other mention of those objects is a plain (racy)
+	// access.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var obj types.Object
+			var name string
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if sel := p.Info.Selections[x]; sel != nil {
+					obj = sel.Obj()
+				}
+				name = x.Sel.Name
+			case *ast.Ident:
+				obj = p.Info.Uses[x]
+				name = x.Name
+			default:
+				return true
+			}
+			if obj == nil || !atomicObjs[obj] || inSanctioned(n) {
+				return true
+			}
+			p.Report(n, "atomicmix",
+				fmt.Sprintf("%s is accessed via sync/atomic elsewhere; this plain access races with those", name),
+				"use the matching atomic.Load/Store here (or migrate the field to a typed atomic)")
+			return false
+		})
+	}
+}

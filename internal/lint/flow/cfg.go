@@ -1,0 +1,428 @@
+// Package flow is sleeplint's control-flow layer: a per-function
+// control-flow graph over go/ast plus a small worklist dataflow engine
+// (dataflow.go). The second-generation lint rules — lock balance, fsync
+// ordering, hot-path allocation budgets — are path-sensitive properties
+// that a flat ast.Inspect cannot express; this package gives them the
+// graph to reason over while staying stdlib-only like the rest of the
+// linter.
+//
+// Granularity is the statement: each basic block holds the simple
+// statements and controlling expressions executed straight-line, in
+// order, and edges encode branching (if/for/range/switch/select), loop
+// back-edges, labeled break/continue, goto, fallthrough, and the two
+// function exits — return and panic — which both lead to the synthetic
+// Exit block (deferred calls run on either, so rules that model defers
+// treat Exit uniformly).
+//
+// Compound statements are never appended as nodes themselves; only their
+// non-branching parts are (an if's init and cond, a for's init/cond/post,
+// a switch's tag, a select clause's comm statement), so walking a block's
+// Nodes visits each executable piece of the function exactly once.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Block is one basic block: statements (and controlling expressions)
+// executed sequentially, then a transfer to one of Succs.
+type Block struct {
+	// Nodes are the block's statements/expressions in execution order.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Index is the block's position in Graph.Blocks (stable, creation
+	// order) — usable as a map-free block key.
+	Index int
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry *Block
+	// Exit is the synthetic sink every return, panic, and fall-off-the-end
+	// path reaches. It holds no nodes.
+	Exit   *Block
+	Blocks []*Block
+}
+
+// Build constructs the CFG of one function body. info may be nil; when
+// present it is used to recognize the panic builtin precisely (shadowed
+// `panic` identifiers are then not treated as terminators).
+func Build(body *ast.BlockStmt, info *types.Info) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		info:   info,
+		labels: make(map[string]*labelInfo),
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	// Falling off the end of the body is an implicit return.
+	b.edgeTo(b.g.Exit)
+	// Resolve forward gotos now that every label has a block.
+	for _, pg := range b.gotos {
+		if li, ok := b.labels[pg.label]; ok {
+			addEdge(pg.from, li.block)
+		}
+	}
+	return b.g
+}
+
+// labelInfo records a label's entry block and, when the labeled statement
+// is a loop or switch, the frame labeled break/continue target.
+type labelInfo struct {
+	block *Block
+	frame *loopFrame
+}
+
+// loopFrame is one enclosing breakable/continuable construct.
+type loopFrame struct {
+	label   string // "" when unlabeled
+	breakTo *Block
+	contTo  *Block // nil for switch/select (continue passes through)
+	breakOK bool
+	contOK  bool
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g      *Graph
+	info   *types.Info
+	cur    *Block // nil when the current point is unreachable
+	frames []*loopFrame
+	labels map[string]*labelInfo
+	gotos  []pendingGoto
+	// pendingLabel is set between a LabeledStmt and the loop/switch it
+	// labels, so break/continue with that label resolve to the frame.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func addEdge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// edgeTo links the current block to next (no-op when unreachable).
+func (b *builder) edgeTo(next *Block) {
+	if b.cur != nil {
+		addEdge(b.cur, next)
+	}
+}
+
+// startBlock makes next the current block.
+func (b *builder) startBlock(next *Block) { b.cur = next }
+
+// append adds a node to the current block, reviving an unreachable point
+// as a fresh predecessor-less block so dead code still gets analyzed.
+func (b *builder) append(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) pushFrame(f *loopFrame) {
+	f.label, b.pendingLabel = b.pendingLabel, ""
+	b.frames = append(b.frames, f)
+	if f.label != "" {
+		if li, ok := b.labels[f.label]; ok {
+			li.frame = f
+		}
+	}
+}
+
+func (b *builder) popFrame() { b.frames = b.frames[:len(b.frames)-1] }
+
+// findFrame resolves a break/continue target; label "" means innermost.
+func (b *builder) findFrame(label string, cont bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label != "" && f.label != label {
+			continue
+		}
+		if cont && !f.contOK {
+			continue
+		}
+		if !cont && !f.breakOK {
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.append(s.Init)
+		b.append(s.Cond)
+		condB := b.cur
+		join := b.newBlock()
+		thenB := b.newBlock()
+		if condB != nil {
+			addEdge(condB, thenB)
+		}
+		b.startBlock(thenB)
+		b.stmtList(s.Body.List)
+		b.edgeTo(join)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			if condB != nil {
+				addEdge(condB, elseB)
+			}
+			b.startBlock(elseB)
+			b.stmt(s.Else)
+			b.edgeTo(join)
+		} else if condB != nil {
+			addEdge(condB, join)
+		}
+		b.startBlock(join)
+
+	case *ast.ForStmt:
+		b.append(s.Init)
+		head := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		b.edgeTo(head)
+		b.startBlock(head)
+		b.append(s.Cond)
+		if s.Cond != nil {
+			addEdge(head, after)
+		}
+		body := b.newBlock()
+		addEdge(head, body)
+		b.pushFrame(&loopFrame{breakTo: after, contTo: post, breakOK: true, contOK: true})
+		b.startBlock(body)
+		b.stmtList(s.Body.List)
+		b.popFrame()
+		b.edgeTo(post)
+		b.startBlock(post)
+		b.append(s.Post)
+		b.edgeTo(head)
+		b.startBlock(after)
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		after := b.newBlock()
+		b.edgeTo(head)
+		b.startBlock(head)
+		b.append(s.X)
+		addEdge(head, after) // the range may be empty
+		body := b.newBlock()
+		addEdge(head, body)
+		b.pushFrame(&loopFrame{breakTo: after, contTo: head, breakOK: true, contOK: true})
+		b.startBlock(body)
+		b.stmtList(s.Body.List)
+		b.popFrame()
+		b.edgeTo(head)
+		b.startBlock(after)
+
+	case *ast.SwitchStmt:
+		b.append(s.Init)
+		b.append(s.Tag)
+		b.caseClauses(s.Body.List, false)
+
+	case *ast.TypeSwitchStmt:
+		b.append(s.Init)
+		b.append(s.Assign)
+		b.caseClauses(s.Body.List, false)
+
+	case *ast.SelectStmt:
+		b.selectClauses(s.Body.List)
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.edgeTo(lb)
+		b.startBlock(lb)
+		b.labels[s.Label.Name] = &labelInfo{block: lb}
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.findFrame(label, false); f != nil {
+				b.edgeTo(f.breakTo)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if f := b.findFrame(label, true); f != nil {
+				b.edgeTo(f.contTo)
+			}
+			b.cur = nil
+		case token.GOTO:
+			if b.cur != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by caseClauses (it is always the last statement of a
+			// clause); nothing to do here.
+		}
+
+	case *ast.ReturnStmt:
+		b.append(s)
+		b.edgeTo(b.g.Exit)
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.append(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.isTerminalCall(call) {
+			b.edgeTo(b.g.Exit)
+			b.cur = nil
+		}
+
+	case nil:
+		// e.g. missing init
+
+	default:
+		// DeferStmt, GoStmt, AssignStmt, SendStmt, IncDecStmt, DeclStmt,
+		// EmptyStmt: straight-line nodes.
+		b.append(s)
+	}
+}
+
+// caseClauses builds the branching structure of a switch body. The head is
+// the current block (holding init/tag); every clause forks from it, falls
+// to a common join, and a trailing fallthrough jumps to the next clause's
+// body instead.
+func (b *builder) caseClauses(clauses []ast.Stmt, _ bool) {
+	head := b.cur
+	join := b.newBlock()
+	// Create clause entry blocks up front so fallthrough can target the
+	// next clause.
+	entries := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		entries[i] = b.newBlock()
+		if head != nil {
+			addEdge(head, entries[i])
+		}
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault && head != nil {
+		addEdge(head, join) // no case matched
+	}
+	b.pushFrame(&loopFrame{breakTo: join, breakOK: true})
+	for i, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.startBlock(entries[i])
+		for _, e := range cc.List {
+			b.append(e)
+		}
+		fallsThrough := false
+		bodyList := cc.Body
+		if n := len(bodyList); n > 0 {
+			if br, ok := bodyList[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				bodyList = bodyList[:n-1]
+			}
+		}
+		b.stmtList(bodyList)
+		if fallsThrough && i+1 < len(clauses) {
+			b.edgeTo(entries[i+1])
+			b.cur = nil
+		} else {
+			b.edgeTo(join)
+		}
+	}
+	b.popFrame()
+	b.startBlock(join)
+}
+
+// selectClauses builds a select statement: one branch per comm clause. A
+// select with no default blocks until some case is ready, so without a
+// default there is no head→join edge; an empty select blocks forever.
+func (b *builder) selectClauses(clauses []ast.Stmt) {
+	head := b.cur
+	join := b.newBlock()
+	b.pushFrame(&loopFrame{breakTo: join, breakOK: true})
+	for _, c := range clauses {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		entry := b.newBlock()
+		if head != nil {
+			addEdge(head, entry)
+		}
+		b.startBlock(entry)
+		b.stmt(cc.Comm) // nil for default
+		b.stmtList(cc.Body)
+		b.edgeTo(join)
+	}
+	b.popFrame()
+	if len(clauses) == 0 {
+		// select {} blocks forever: join is unreachable from head.
+		b.cur = nil
+	}
+	b.startBlock(join)
+}
+
+// isTerminalCall reports whether the call never returns: the panic builtin,
+// os.Exit, runtime.Goexit, or log.Fatal*.
+func (b *builder) isTerminalCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		if b.info != nil {
+			_, isBuiltin := b.info.Uses[fun].(*types.Builtin)
+			return isBuiltin
+		}
+		return true
+	case *ast.SelectorExpr:
+		var obj types.Object
+		if b.info != nil {
+			obj = b.info.Uses[fun.Sel]
+		}
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		switch obj.Pkg().Path() {
+		case "os":
+			return obj.Name() == "Exit"
+		case "runtime":
+			return obj.Name() == "Goexit"
+		case "log":
+			return obj.Name() == "Fatal" || obj.Name() == "Fatalf" || obj.Name() == "Fatalln"
+		}
+	}
+	return false
+}

@@ -1,0 +1,423 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses src (a file body containing one function named f) and
+// builds its CFG. Types info is nil: the tests exercise pure structure,
+// and the builder treats unshadowed panic as terminal without it.
+func buildFunc(t *testing.T, src string) (*token.FileSet, *Graph) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", "package t\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return fset, Build(fd.Body, nil)
+		}
+	}
+	t.Fatalf("no func f in src")
+	return nil, nil
+}
+
+// blockWith finds the block containing a node whose source line contains
+// marker (via the fset line of the node's position).
+func blockWith(t *testing.T, fset *token.FileSet, g *Graph, src, marker string) *Block {
+	t.Helper()
+	wantLine := 0
+	for i, l := range strings.Split("package t\n"+src, "\n") {
+		if strings.Contains(l, marker) {
+			wantLine = i + 1
+			break
+		}
+	}
+	if wantLine == 0 {
+		t.Fatalf("marker %q not in src", marker)
+	}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if fset.Position(n.Pos()).Line == wantLine {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block holds a node on line %d (%q)", wantLine, marker)
+	return nil
+}
+
+// reaches reports whether to is reachable from from over Succs edges.
+func reaches(from, to *Block) bool {
+	seen := make(map[*Block]bool)
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+func TestIfElseJoins(t *testing.T) {
+	src := `
+func f(c bool) {
+	x := 0 // init
+	if c {
+		x = 1 // then
+	} else {
+		x = 2 // else
+	}
+	_ = x // after
+}`
+	fset, g := buildFunc(t, src)
+	then := blockWith(t, fset, g, src, "// then")
+	els := blockWith(t, fset, g, src, "// else")
+	after := blockWith(t, fset, g, src, "// after")
+	if !reaches(then, after) || !reaches(els, after) {
+		t.Fatalf("both branches must reach the join")
+	}
+	if reaches(then, els) || reaches(els, then) {
+		t.Fatalf("branches must be exclusive")
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatalf("entry must reach exit")
+	}
+}
+
+func TestForLoopBackEdgeAndExit(t *testing.T) {
+	src := `
+func f(n int) {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i // body
+	}
+	_ = s // after
+}`
+	fset, g := buildFunc(t, src)
+	body := blockWith(t, fset, g, src, "// body")
+	after := blockWith(t, fset, g, src, "// after")
+	if !reaches(body, body) {
+		t.Fatalf("loop body must reach itself again (back edge through post+head)")
+	}
+	if !reaches(body, after) {
+		t.Fatalf("the loop must be exitable to the after block")
+	}
+	if !reaches(g.Entry, after) {
+		t.Fatalf("zero-iteration path must reach the after block")
+	}
+}
+
+func TestInfiniteLoopWithoutBreakDoesNotFallThrough(t *testing.T) {
+	src := `
+func f() {
+	for {
+		_ = 1 // body
+	}
+}`
+	fset, g := buildFunc(t, src)
+	body := blockWith(t, fset, g, src, "// body")
+	if reaches(body, g.Exit) {
+		t.Fatalf("for{} with no break/return must not reach exit")
+	}
+}
+
+func TestLabeledBreakAndContinue(t *testing.T) {
+	src := `
+func f(xs [][]int) {
+outer:
+	for _, row := range xs {
+		for _, v := range row {
+			if v < 0 {
+				_ = v // preCont
+				continue outer
+			}
+			if v == 0 {
+				_ = v // preBrk
+				break outer
+			}
+			_ = v // inner
+		}
+		_ = row // innerAfter
+	}
+	_ = xs // after
+}`
+	fset, g := buildFunc(t, src)
+	preBrk := blockWith(t, fset, g, src, "// preBrk")
+	preCont := blockWith(t, fset, g, src, "// preCont")
+	after := blockWith(t, fset, g, src, "// after")
+	innerAfter := blockWith(t, fset, g, src, "// innerAfter")
+	// break outer jumps past both loops: it must reach `after` without
+	// passing the outer loop's trailing body statement.
+	if !reaches(preBrk, after) {
+		t.Fatalf("break outer must reach the statement after the outer loop")
+	}
+	if reaches(preBrk, innerAfter) {
+		t.Fatalf("break outer must not re-enter the outer loop body")
+	}
+	// continue outer re-enters the outer range head: the outer body stays
+	// reachable on the next iteration.
+	if !reaches(preCont, innerAfter) {
+		t.Fatalf("continue outer must allow the next outer iteration")
+	}
+}
+
+func TestGotoForwardAndBackward(t *testing.T) {
+	src := `
+func f(c bool) {
+	i := 0
+top:
+	i++ // top
+	if c {
+		goto done
+	}
+	goto top
+done:
+	_ = i // done
+}`
+	fset, g := buildFunc(t, src)
+	top := blockWith(t, fset, g, src, "// top")
+	done := blockWith(t, fset, g, src, "// done")
+	if !reaches(top, done) {
+		t.Fatalf("forward goto must reach its label")
+	}
+	if !reaches(top, top) {
+		// reaches() from a node to itself requires an actual cycle.
+		t.Fatalf("backward goto must form a loop")
+	}
+}
+
+func TestSelectWithoutDefaultBlocks(t *testing.T) {
+	src := `
+func f(a, b chan int) {
+	select {
+	case <-a:
+		_ = 1 // caseA
+	case <-b:
+		_ = 2 // caseB
+	}
+	_ = 3 // after
+}`
+	fset, g := buildFunc(t, src)
+	caseA := blockWith(t, fset, g, src, "// caseA")
+	after := blockWith(t, fset, g, src, "// after")
+	if !reaches(caseA, after) {
+		t.Fatalf("a taken case must reach the statement after select")
+	}
+	// Without a default, every path into `after` goes through some case.
+	for _, pred := range after.Preds {
+		hasComm := false
+		for _, n := range pred.Nodes {
+			if _, ok := n.(ast.Stmt); ok {
+				hasComm = true
+			}
+		}
+		if !hasComm && pred != g.Entry {
+			t.Fatalf("select without default must not bypass its cases")
+		}
+	}
+}
+
+func TestSelectWithDefaultPassesThrough(t *testing.T) {
+	src := `
+func f(a chan int) {
+	select {
+	case <-a:
+		_ = 1 // caseA
+	default:
+		_ = 2 // dflt
+	}
+	_ = 3 // after
+}`
+	fset, g := buildFunc(t, src)
+	dflt := blockWith(t, fset, g, src, "// dflt")
+	after := blockWith(t, fset, g, src, "// after")
+	if !reaches(dflt, after) {
+		t.Fatalf("default branch must reach after")
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	src := `
+func f() {
+	_ = 1 // before
+	select {}
+	_ = 2 // after
+}`
+	fset, g := buildFunc(t, src)
+	before := blockWith(t, fset, g, src, "// before")
+	after := blockWith(t, fset, g, src, "// after")
+	if reaches(before, after) {
+		t.Fatalf("code after select{} must be unreachable")
+	}
+}
+
+func TestPanicOnlyPathTerminates(t *testing.T) {
+	src := `
+func f(c bool) {
+	if !c {
+		panic("no") // panic
+	}
+	_ = 1 // after
+}`
+	fset, g := buildFunc(t, src)
+	pan := blockWith(t, fset, g, src, "// panic")
+	after := blockWith(t, fset, g, src, "// after")
+	if reaches(pan, after) {
+		t.Fatalf("panic must not fall through to the next statement")
+	}
+	if !reaches(pan, g.Exit) {
+		t.Fatalf("panic path must reach exit (defers still run)")
+	}
+	if !reaches(g.Entry, after) {
+		t.Fatalf("non-panic path must reach the statement after the if")
+	}
+}
+
+func TestNestedDeferNodesStayInOrder(t *testing.T) {
+	src := `
+func f() {
+	defer one() // d1
+	if cond() {
+		defer two() // d2
+	}
+	defer func() {
+		three() // d3body
+	}()
+	_ = 1 // after
+}`
+	fset, g := buildFunc(t, src)
+	d1 := blockWith(t, fset, g, src, "// d1")
+	d2 := blockWith(t, fset, g, src, "// d2")
+	after := blockWith(t, fset, g, src, "// after")
+	if !reaches(d1, d2) || !reaches(d2, after) {
+		t.Fatalf("defers must be ordinary nodes along the path")
+	}
+	// The deferred literal's body is not a separate CFG path of f.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if call, ok := n.(*ast.ExprStmt); ok {
+				if fset.Position(call.Pos()).Line == 0 {
+					t.Fatalf("unexpected node %v", call)
+				}
+			}
+		}
+	}
+}
+
+func TestSwitchFallthroughAndNoDefault(t *testing.T) {
+	src := `
+func f(x int) {
+	switch x {
+	case 1:
+		_ = 1 // c1
+		fallthrough
+	case 2:
+		_ = 2 // c2
+	}
+	_ = 3 // after
+}`
+	fset, g := buildFunc(t, src)
+	c1 := blockWith(t, fset, g, src, "// c1")
+	c2 := blockWith(t, fset, g, src, "// c2")
+	after := blockWith(t, fset, g, src, "// after")
+	if !reaches(c1, c2) {
+		t.Fatalf("fallthrough must connect case 1 to case 2's body")
+	}
+	if !reaches(c2, after) {
+		t.Fatalf("case bodies must reach the join")
+	}
+	head := blockWith(t, fset, g, src, "switch x")
+	direct := false
+	for _, s := range head.Succs {
+		if s == after {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Fatalf("switch without default must have a no-match edge to the join")
+	}
+}
+
+func TestDataflowMayVsMust(t *testing.T) {
+	src := `
+func f(c bool) {
+	if c {
+		lock() // lockSite
+	}
+	_ = 1 // after
+}`
+	fset, g := buildFunc(t, src)
+	lockLine := fset // silence unused in case of refactor
+	_ = lockLine
+	transfer := func(n ast.Node, in Facts) Facts {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "lock" {
+					in["held"] = true
+				}
+			}
+		}
+		return in
+	}
+	may := Forward(g, nil, transfer, true)
+	must := Forward(g, nil, transfer, false)
+	if !may.AtExit()["held"] {
+		t.Fatalf("may-analysis: held must reach exit on some path")
+	}
+	if must.AtExit()["held"] {
+		t.Fatalf("must-analysis: held must NOT hold on every path")
+	}
+}
+
+func TestBackwardReachability(t *testing.T) {
+	src := `
+func f(c bool) {
+	work() // work
+	if c {
+		return
+	}
+	cleanup() // cleanup
+}`
+	fset, g := buildFunc(t, src)
+	transfer := func(n ast.Node, in Facts) Facts {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "cleanup" {
+					in["cleaned"] = true
+				}
+			}
+		}
+		return in
+	}
+	res := Backward(g, nil, transfer, true)
+	sawWork := false
+	res.Walk(func(n ast.Node, at Facts) {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "work" {
+					sawWork = true
+					if !at["cleaned"] {
+						t.Fatalf("backward-may: cleanup is reachable after work on some path")
+					}
+				}
+			}
+		}
+		_ = fset
+	})
+	if !sawWork {
+		t.Fatalf("work() node not visited")
+	}
+}

@@ -1,0 +1,178 @@
+package flow
+
+// dataflow.go — a small worklist engine over the CFG. Facts are named set
+// elements ("H:e.mu@1234", "synced"); analyses are forward or backward,
+// with union merge (may: the fact holds on SOME path) or intersection
+// merge (must: the fact holds on EVERY path). That is exactly enough
+// lattice for the lint rules: lock-held sets, sync-before-rename
+// dominance, reachability of a directory sync.
+
+import "go/ast"
+
+// Facts is a set of dataflow facts. A nil Facts is ⊤ (unknown/unvisited),
+// distinct from an empty set.
+type Facts map[string]bool
+
+// Clone copies the set (nil stays nil).
+func (f Facts) Clone() Facts {
+	if f == nil {
+		return nil
+	}
+	out := make(Facts, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+// Equal reports set equality; nil equals only nil.
+func (f Facts) Equal(o Facts) bool {
+	if (f == nil) != (o == nil) || len(f) != len(o) {
+		return false
+	}
+	for k := range f {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transfer applies one node's effect to the incoming facts and returns the
+// outgoing facts. It may mutate and return in (the engine clones between
+// blocks).
+type Transfer func(n ast.Node, in Facts) Facts
+
+// Result is the fixpoint of one analysis: the facts at the start of each
+// block (for forward analyses) or at the end (for backward ones).
+type Result struct {
+	g        *Graph
+	transfer Transfer
+	union    bool
+	backward bool
+	// at[i] is the facts entering block i in analysis direction: block
+	// start for forward, block end for backward. nil = unreachable/⊤.
+	at []Facts
+}
+
+// merge combines two fact sets under the analysis's lattice; nil is ⊤ and
+// is the identity for intersection, absorbing for union only in the sense
+// that unreachable paths contribute nothing.
+func (r *Result) merge(a, b Facts) Facts {
+	if a == nil {
+		return b.Clone()
+	}
+	if b == nil {
+		return a
+	}
+	if r.union {
+		for k := range b {
+			a[k] = true
+		}
+		return a
+	}
+	for k := range a {
+		if !b[k] {
+			delete(a, k)
+		}
+	}
+	return a
+}
+
+// applyBlock runs the transfer across a block's nodes (in direction order)
+// starting from in, returning the out facts.
+func (r *Result) applyBlock(blk *Block, in Facts) Facts {
+	out := in.Clone()
+	if out == nil {
+		return nil
+	}
+	if r.backward {
+		for i := len(blk.Nodes) - 1; i >= 0; i-- {
+			out = r.transfer(blk.Nodes[i], out)
+		}
+	} else {
+		for _, n := range blk.Nodes {
+			out = r.transfer(n, out)
+		}
+	}
+	return out
+}
+
+// run executes the worklist to fixpoint.
+func run(g *Graph, entry Facts, t Transfer, union, backward bool) *Result {
+	r := &Result{g: g, transfer: t, union: union, backward: backward,
+		at: make([]Facts, len(g.Blocks))}
+	start := g.Entry
+	if backward {
+		start = g.Exit
+	}
+	if entry == nil {
+		entry = Facts{}
+	}
+	r.at[start.Index] = entry.Clone()
+	work := []*Block{start}
+	inWork := make([]bool, len(g.Blocks))
+	inWork[start.Index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk.Index] = false
+		out := r.applyBlock(blk, r.at[blk.Index])
+		next := blk.Succs
+		if backward {
+			next = blk.Preds
+		}
+		for _, s := range next {
+			merged := r.merge(r.at[s.Index].Clone(), out)
+			if !merged.Equal(r.at[s.Index]) {
+				r.at[s.Index] = merged
+				if !inWork[s.Index] {
+					work = append(work, s)
+					inWork[s.Index] = true
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Forward runs a forward analysis from Entry. union selects may-semantics
+// (fact holds on some path); !union selects must-semantics (fact holds on
+// every path).
+func Forward(g *Graph, entry Facts, t Transfer, union bool) *Result {
+	return run(g, entry, t, union, false)
+}
+
+// Backward runs a backward analysis from Exit; at-Exit facts flow toward
+// Entry through reversed edges and reversed node order.
+func Backward(g *Graph, exit Facts, t Transfer, union bool) *Result {
+	return run(g, exit, t, union, true)
+}
+
+// Walk calls fn for every node with the facts holding immediately before
+// it in analysis direction (before = above for forward, below for
+// backward). Unreachable blocks (⊤) are skipped: no path reaches them, so
+// no path-sensitive claim about them is sound.
+func (r *Result) Walk(fn func(n ast.Node, at Facts)) {
+	for _, blk := range r.g.Blocks {
+		facts := r.at[blk.Index]
+		if facts == nil {
+			continue
+		}
+		facts = facts.Clone()
+		if r.backward {
+			for i := len(blk.Nodes) - 1; i >= 0; i-- {
+				fn(blk.Nodes[i], facts)
+				facts = r.transfer(blk.Nodes[i], facts)
+			}
+		} else {
+			for _, n := range blk.Nodes {
+				fn(n, facts)
+				facts = r.transfer(n, facts)
+			}
+		}
+	}
+}
+
+// AtExit returns the facts reaching the Exit block (forward analyses).
+func (r *Result) AtExit() Facts { return r.at[r.g.Exit.Index] }

@@ -1,0 +1,25 @@
+package lint
+
+// flowadapter.go — thin aliases over internal/lint/flow so rule files can
+// build graphs and run analyses without qualifying every type.
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sleepnet/internal/lint/flow"
+)
+
+type flowFacts = flow.Facts
+
+func flowBuild(body *ast.BlockStmt, info *types.Info) *flow.Graph {
+	return flow.Build(body, info)
+}
+
+func flowForward(g *flow.Graph, entry flowFacts, t func(ast.Node, flowFacts) flowFacts, union bool) *flow.Result {
+	return flow.Forward(g, entry, flow.Transfer(t), union)
+}
+
+func flowBackward(g *flow.Graph, exit flowFacts, t func(ast.Node, flowFacts) flowFacts, union bool) *flow.Result {
+	return flow.Backward(g, exit, flow.Transfer(t), union)
+}

@@ -1,0 +1,323 @@
+package lint
+
+// hotalloc turns PR 5's 0-allocs/op bench budget into a build-time check:
+// a function annotated //lint:hotpath, and every same-package function it
+// statically calls, must not contain an allocating construct. AllocsPerRun
+// tests sample one input shape; this rule covers every branch on every
+// build.
+//
+// Flagged constructs: make/new, &CompositeLit, slice/map/func-typed
+// composite literals, closures (FuncLit), append that grows a different
+// slice than it reads (non-self append — `b = append(b, ...)` is the
+// amortized-owned-buffer idiom and allowed), string concatenation and
+// string<->[]byte conversions, calls into known allocating stdlib surfaces
+// (fmt, encoding/json, strings.Join/Repeat, sort.Slice*), and interface
+// boxing of non-pointer arguments at call sites.
+//
+// Error paths are cold by definition: allocations inside a return
+// statement that produces an error (fmt.Errorf/errors.New and friends)
+// and inside panic(...) arguments are exempt — the hot path is the one
+// that succeeds.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc checks that //lint:hotpath functions and their same-package
+// callees do not allocate.
+type HotAlloc struct{}
+
+func (HotAlloc) Name() string { return "hotalloc" }
+func (HotAlloc) Doc() string {
+	return "//lint:hotpath functions and their static same-package callees must not allocate (error/panic paths exempt)"
+}
+
+func (HotAlloc) Check(p *Pass) {
+	if len(p.hotpath) == 0 {
+		return
+	}
+	// Index every function declared in this package by its object, so call
+	// sites resolve to bodies for the transitive closure.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	// BFS from the annotated roots through same-package static calls.
+	// Roots are gathered in file/declaration order (not by ranging the
+	// hotpath map) so chain labels and finding order are deterministic.
+	inBudget := make(map[*ast.FuncDecl]string) // decl -> root chain label
+	var queue, order []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && p.hotpath[fd] {
+				inBudget[fd] = fd.Name.Name
+				queue = append(queue, fd)
+				order = append(order, fd)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		inspectOwn(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var obj types.Object
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				obj = p.Info.Uses[fun]
+			case *ast.SelectorExpr:
+				obj = p.Info.Uses[fun.Sel]
+			}
+			if callee := decls[obj]; callee != nil {
+				if _, seen := inBudget[callee]; !seen {
+					inBudget[callee] = inBudget[fd] + " → " + callee.Name.Name
+					queue = append(queue, callee)
+					order = append(order, callee)
+				}
+			}
+			return true
+		})
+	}
+	for _, fd := range order {
+		checkHotBody(p, fd, inBudget[fd])
+	}
+}
+
+// coldZones collects source ranges exempt from the budget: arguments of
+// error-producing returns and of panic calls.
+func coldZones(p *Pass, body *ast.BlockStmt) [][2]int {
+	var zones [][2]int
+	producesError := func(e ast.Expr) bool {
+		t := p.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		if tup, ok := t.(*types.Tuple); ok && tup.Len() > 0 {
+			t = tup.At(tup.Len() - 1).Type()
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+	}
+	inspectOwn(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, e := range s.Results {
+				if call, ok := e.(*ast.CallExpr); ok && producesError(call) {
+					zones = append(zones, [2]int{int(s.Pos()), int(s.End())})
+					break
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					zones = append(zones, [2]int{int(s.Pos()), int(s.End())})
+				}
+			}
+		}
+		return true
+	})
+	return zones
+}
+
+func checkHotBody(p *Pass, fd *ast.FuncDecl, chain string) {
+	zones := coldZones(p, fd.Body)
+	cold := func(n ast.Node) bool {
+		pos := int(n.Pos())
+		for _, z := range zones {
+			if pos >= z[0] && pos < z[1] {
+				return true
+			}
+		}
+		return false
+	}
+	report := func(n ast.Node, what string) {
+		if cold(n) {
+			return
+		}
+		p.Report(n, "hotalloc",
+			fmt.Sprintf("%s in hot path %s", what, chain),
+			"hoist the allocation to setup, reuse a scratch buffer, or drop the //lint:hotpath annotation")
+	}
+	// selfAppendOK marks append calls of the owned-buffer idiom
+	// `x = append(x, ...)` (same root on both sides).
+	selfAppendOK := make(map[*ast.CallExpr]bool)
+	inspectOwn(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(p, call) || i >= len(as.Lhs) || len(call.Args) == 0 {
+				continue
+			}
+			l, r := rootObject(p, as.Lhs[i]), aliasRoot(p, call.Args[0])
+			if l != nil && l == r {
+				selfAppendOK[call] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// The literal itself is the allocation; its body runs outside
+			// this function's budget (it has no annotation of its own).
+			report(x, "closure allocation (FuncLit)")
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, isLit := x.X.(*ast.CompositeLit); isLit {
+					report(x, "&composite-literal heap allocation")
+				}
+			}
+		case *ast.CompositeLit:
+			if t := p.TypeOf(x); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(x, "slice/map composite-literal allocation")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if tv, ok := p.Info.Types[x]; ok && tv.Value == nil && tv.Type != nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(x, "string concatenation allocation")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, x, report, selfAppendOK)
+		}
+		return true
+	})
+}
+
+// allocPkgs are stdlib surfaces that allocate on essentially every call.
+var allocPkgs = map[string]string{
+	"fmt":           "fmt call",
+	"encoding/json": "encoding/json call",
+}
+
+var allocFuncs = map[string]string{
+	"strings.Join":     "strings.Join allocation",
+	"strings.Repeat":   "strings.Repeat allocation",
+	"sort.Slice":       "sort.Slice allocation (boxes the closure)",
+	"sort.SliceStable": "sort.SliceStable allocation (boxes the closure)",
+}
+
+func checkHotCall(p *Pass, call *ast.CallExpr, report func(ast.Node, string), selfAppendOK map[*ast.CallExpr]bool) {
+	// Builtins: make/new always allocate; append allocates unless it is
+	// the self-append owned-buffer idiom.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				report(call, id.Name+" allocation")
+			case "append":
+				if !selfAppendOK[call] {
+					report(call, "append into a slice it does not own (growth allocates)")
+				}
+			}
+			return
+		}
+	}
+	// Conversions string([]byte) / []byte(string) copy.
+	if t := conversionTarget(p, call); t != nil && len(call.Args) == 1 {
+		from := p.TypeOf(call.Args[0])
+		if isStringType(t) && isByteSlice(from) || isByteSlice(t) && isStringType(from) {
+			report(call, "string<->[]byte conversion copy")
+			return
+		}
+	}
+	// Known allocating stdlib calls.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := p.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
+			pkg := obj.Pkg().Path()
+			if what, bad := allocPkgs[pkg]; bad {
+				report(call, what)
+				return
+			}
+			if what, bad := allocFuncs[pkg+"."+obj.Name()]; bad {
+				report(call, what)
+				return
+			}
+		}
+	}
+	// Interface boxing: a non-pointer concrete argument passed to an
+	// interface parameter escapes to the heap.
+	sig, ok := p.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var param types.Type
+		if sig.Variadic() && i >= np-1 {
+			if s, okS := sig.Params().At(np - 1).Type().(*types.Slice); okS {
+				param = s.Elem()
+			}
+		} else if i < np {
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil {
+			continue
+		}
+		if _, isIface := param.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := p.TypeOf(arg)
+		if at == nil {
+			continue
+		}
+		switch at.Underlying().(type) {
+		case *types.Pointer, *types.Interface, *types.Signature, *types.Chan, *types.Map:
+			continue // pointer-shaped: boxing is allocation-free
+		case *types.Basic:
+			if at.Underlying().(*types.Basic).Kind() == types.UntypedNil {
+				continue
+			}
+		}
+		report(arg, "interface boxing of a non-pointer value")
+	}
+}
+
+func conversionTarget(p *Pass, call *ast.CallExpr) types.Type {
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return tv.Type
+	}
+	return nil
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -59,7 +59,14 @@ type Pass struct {
 	Files []*ast.File
 
 	findings *[]Finding
-	allows   map[string][]allowDirective // filename -> directives
+	allows   map[string][]*allowDirective // filename -> directives
+
+	// hotpath marks the functions in this package carrying a
+	// //lint:hotpath annotation (set by collectAnnotations).
+	hotpath map[*ast.FuncDecl]bool
+	// anns is the module-wide annotation index shared by every pass of a
+	// Run, so cross-package aliasing contracts are visible to callers.
+	anns *Annotations
 }
 
 // Report records a finding at n's position unless an allow directive
@@ -68,6 +75,7 @@ func (p *Pass) Report(n ast.Node, rule, message, suggestion string) {
 	pos := p.Fset.Position(n.Pos())
 	for _, d := range p.allows[pos.Filename] {
 		if d.rule == rule && d.covers(pos.Line) && d.justified() {
+			d.used = true
 			return
 		}
 	}
@@ -104,6 +112,12 @@ func Rules() []Rule {
 		MapOrder{},
 		FloatEq{},
 		ErrDrop{},
+		LockBalance{},
+		AtomicMix{},
+		AliasRetain{},
+		FsyncOrder{},
+		HotAlloc{},
+		CtxLeak{},
 	}
 }
 
@@ -154,6 +168,11 @@ type allowDirective struct {
 	line          int
 	alone         bool
 	justification string
+	// used flips when the directive suppresses at least one finding; an
+	// unused directive is stale and flagged by the -allows audit.
+	used bool
+	// file is the position filename, kept for audit listings.
+	file string
 }
 
 func (d allowDirective) covers(line int) bool {
@@ -177,7 +196,7 @@ func (p *Pass) collectAllows() {
 	for _, name := range RuleNames() {
 		known[name] = true
 	}
-	p.allows = make(map[string][]allowDirective)
+	p.allows = make(map[string][]*allowDirective)
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -186,8 +205,8 @@ func (p *Pass) collectAllows() {
 				}
 				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
 				pos := p.Fset.Position(c.Pos())
-				d := allowDirective{line: pos.Line, alone: pos.Column == 1 ||
-					onlyCommentOnLine(p.Fset, f, c)}
+				d := &allowDirective{file: pos.Filename, line: pos.Line,
+					alone: pos.Column == 1 || onlyCommentOnLine(p.Fset, f, c)}
 				// Split "rule: why" / "rule -- why" / "rule — why".
 				rule, why := splitDirective(rest)
 				d.rule, d.justification = rule, why
@@ -255,16 +274,87 @@ func onlyCommentOnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
 // Run executes the rules over the packages and returns findings sorted by
 // file, line, column, and rule.
 func Run(pkgs []*Package, rules []Rule) []Finding {
+	findings, _ := run(pkgs, rules, false)
+	return findings
+}
+
+// Allow is one //lint:allow directive as listed by the -allows audit.
+type Allow struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Rule          string `json:"rule"`
+	Justification string `json:"justification"`
+	// Used reports whether the directive suppressed at least one finding
+	// in this run; a well-formed, unused directive is stale.
+	Used bool `json:"used"`
+}
+
+// RunAudit is Run plus the allow audit: it additionally returns every
+// well-formed //lint:allow directive in the analyzed packages, and reports
+// directives that suppressed nothing as findings under the "staleallow"
+// pseudo-rule — but only when their rule was actually among the rules run,
+// since an unexercised rule cannot prove its allows stale.
+func RunAudit(pkgs []*Package, rules []Rule) ([]Finding, []Allow) {
+	return run(pkgs, rules, true)
+}
+
+func run(pkgs []*Package, rules []Rule, audit bool) ([]Finding, []Allow) {
 	var findings []Finding
+	shared := newAnnotations()
+	passes := make([]*Pass, 0, len(pkgs))
+	// Phase 1: parse directives and contract annotations everywhere first,
+	// so cross-package aliasing contracts are indexed before any caller's
+	// rules run (package order must not matter).
 	for _, pkg := range pkgs {
 		pass := &Pass{
 			Fset: pkg.Fset, PkgPath: pkg.Path, Pkg: pkg.Types,
 			Info: pkg.Info, Files: pkg.Files, findings: &findings,
+			anns: shared,
 		}
 		pass.collectAllows()
+		pass.collectAnnotations(shared)
+		passes = append(passes, pass)
+	}
+	// Phase 2: run the rules.
+	for _, pass := range passes {
 		for _, r := range rules {
 			r.Check(pass)
 		}
+	}
+	var allows []Allow
+	if audit {
+		ran := make(map[string]bool, len(rules))
+		for _, r := range rules {
+			ran[r.Name()] = true
+		}
+		for _, pass := range passes {
+			for _, ds := range pass.allows {
+				for _, d := range ds {
+					allows = append(allows, Allow{
+						File: d.file, Line: d.line, Rule: d.rule,
+						Justification: d.justification, Used: d.used,
+					})
+					if !d.used && ran[d.rule] {
+						findings = append(findings, Finding{
+							File: d.file, Line: d.line, Col: 1,
+							Rule:       "staleallow",
+							Message:    fmt.Sprintf("//lint:allow %s suppresses nothing — the finding it excused is gone", d.rule),
+							Suggestion: "delete the directive (or re-justify it against a finding that exists)",
+						})
+					}
+				}
+			}
+		}
+		sort.Slice(allows, func(i, j int) bool {
+			a, b := allows[i], allows[j]
+			if a.File != b.File {
+				return a.File < b.File
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			return a.Rule < b.Rule
+		})
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -279,5 +369,5 @@ func Run(pkgs []*Package, rules []Rule) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return findings
+	return findings, allows
 }

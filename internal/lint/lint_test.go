@@ -83,12 +83,20 @@ func itoa(n int) string {
 // each deliberately-broken fixture triggers its intended rule and nothing
 // else.
 func TestFixturesGolden(t *testing.T) {
-	fixtures := []string{"norand", "nowallclock", "maporder", "floateq", "errdrop", "allowfix"}
+	fixtures := []string{
+		"norand", "nowallclock", "maporder", "floateq", "errdrop", "allowfix",
+		"lockbalance", "atomicmix", "aliasretain", "durable", "fsyncorder",
+		"hotalloc", "ctxleak", "staleallow",
+	}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			pkg := loadFixture(t, name)
 			got := make(map[string]int)
-			for _, f := range Run([]*Package{pkg}, Rules()) {
+			// The audit runner is the strictest mode: stale allows report
+			// too, so fixtures must keep every directive live (or mark it
+			// with a staleallow want).
+			findings, _ := RunAudit([]*Package{pkg}, Rules())
+			for _, f := range findings {
 				got[keyOf(f.File, f.Line, f.Rule)]++
 			}
 			want := wantedFindings(t, pkg.Dir)
@@ -109,7 +117,10 @@ func TestFixturesGolden(t *testing.T) {
 // TestRuleIsolation re-runs each broken fixture with only its intended rule
 // selected and checks the finding count survives -rules filtering.
 func TestRuleIsolation(t *testing.T) {
-	for _, name := range []string{"norand", "nowallclock", "maporder", "floateq", "errdrop"} {
+	for _, name := range []string{
+		"norand", "nowallclock", "maporder", "floateq", "errdrop",
+		"lockbalance", "atomicmix", "aliasretain", "fsyncorder", "hotalloc", "ctxleak",
+	} {
 		t.Run(name, func(t *testing.T) {
 			pkg := loadFixture(t, name)
 			rules, err := Select(name)

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package ready for rule checks.
@@ -30,7 +31,10 @@ type Package struct {
 
 // Loader parses and type-checks packages from source, stdlib included, with
 // no toolchain invocation beyond reading GOROOT sources. One Loader caches
-// imports across packages, so loading a whole module is cheap.
+// imports across packages, so loading a whole module is cheap. A Loader is
+// safe for concurrent LoadDir calls: the FileSet synchronizes itself and the
+// import cache is serialized behind a mutex, so dependencies shared by many
+// packages are type-checked exactly once no matter how many workers load.
 type Loader struct {
 	Fset *token.FileSet
 	imp  types.Importer
@@ -39,7 +43,23 @@ type Loader struct {
 // NewLoader returns a Loader with a fresh FileSet and source importer.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	return &Loader{Fset: fset, imp: &lockedImporter{imp: importer.ForCompiler(fset, "source", nil)}}
+}
+
+// lockedImporter serializes Import calls: the source importer's cache is not
+// safe for concurrent use, but sharing that cache across type-check workers
+// is the whole point — each dependency is checked once and every later
+// Import is a cache hit. The packages it returns are complete, and complete
+// *types.Package values are safe to read concurrently.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.Import(path)
 }
 
 // LoadDir parses and type-checks the non-test files of one directory as the
@@ -158,6 +178,18 @@ func PackageDirs(root string) ([]string, error) {
 // shape: "./..." loads everything, "./internal/world" one package,
 // "./internal/..." a subtree. An empty pattern list means "./...".
 func LoadModule(dir string, patterns []string) ([]*Package, error) {
+	return LoadModuleParallel(dir, patterns, 1)
+}
+
+// LoadModuleParallel is LoadModule with the type-checking fanned out over a
+// bounded pool of workers. Type-checking dominates whole-module lint time,
+// so this is where the parallelism pays; rules still run sequentially over
+// the loaded packages (the annotation index and finding order stay trivially
+// deterministic that way). Each worker owns a private Loader — the source
+// importer's cache is not safe for concurrent use — and packages come back
+// in directory order no matter which worker finished first, so output is
+// byte-identical across runs and worker counts.
+func LoadModuleParallel(dir string, patterns []string, workers int) ([]*Package, error) {
 	root, modPath, err := ModuleRoot(dir)
 	if err != nil {
 		return nil, err
@@ -170,22 +202,51 @@ func LoadModule(dir string, patterns []string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := NewLoader()
-	var pkgs []*Package
-	for _, d := range keep {
+	paths := make([]string, len(keep))
+	for i, d := range keep {
 		rel, err := filepath.Rel(root, d)
 		if err != nil {
 			return nil, err
 		}
-		path := modPath
+		paths[i] = modPath
 		if rel != "." {
-			path = modPath + "/" + filepath.ToSlash(rel)
+			paths[i] = modPath + "/" + filepath.ToSlash(rel)
 		}
-		pkg, err := l.LoadDir(d, path)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(keep) {
+		workers = len(keep)
+	}
+	l := NewLoader()
+	pkgs := make([]*Package, len(keep))
+	errs := make([]error, len(keep))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				pkg, err := l.LoadDir(keep[i], paths[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("lint: loading %s: %w", paths[i], err)
+					continue
+				}
+				pkgs[i] = pkg
+			}
+		}()
+	}
+	for i := range keep {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("lint: loading %s: %w", path, err)
+			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
 }

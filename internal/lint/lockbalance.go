@@ -1,0 +1,206 @@
+package lint
+
+// lockbalance enforces the mutex discipline the race job can only sample:
+// every sync.Mutex/RWMutex Lock must reach its Unlock on ALL paths out of
+// the function (directly or through a defer), and no path may Lock a mutex
+// it already holds. It is the first CFG-backed rule: leak detection is a
+// may-forward analysis (does any path reach return still holding?), and
+// double-lock detection is a must-forward analysis (is the lock held on
+// every path into a second Lock?).
+//
+// Unlock-without-lock is deliberately NOT flagged: the codebase's
+// `fooLocked` helpers are called with the lock held by the caller, and
+// flagging them would force allows on correct code. Cross-function lock
+// protocols stay the race detector's job; this rule owns the per-function
+// balance.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// LockBalance checks that every Lock reaches an Unlock on all paths.
+type LockBalance struct{}
+
+func (LockBalance) Name() string { return "lockbalance" }
+func (LockBalance) Doc() string {
+	return "every mutex Lock must reach Unlock on all paths (defer-aware); double-locking is flagged"
+}
+
+// lockOp classifies one sync lock-protocol call.
+type lockOp struct {
+	call *ast.CallExpr
+	key  string // mode:receiver, e.g. "W:e.mu"
+	lock bool   // Lock/RLock vs Unlock/RUnlock
+}
+
+// syncLockOp recognizes x.Lock/Unlock/RLock/RUnlock where the method
+// belongs to package sync (covers Mutex, RWMutex, promoted embeds, and the
+// Locker interface).
+func syncLockOp(p *Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	var mode string
+	var lock bool
+	switch obj.Name() {
+	case "Lock":
+		mode, lock = "W", true
+	case "Unlock":
+		mode, lock = "W", false
+	case "RLock":
+		mode, lock = "R", true
+	case "RUnlock":
+		mode, lock = "R", false
+	default:
+		return lockOp{}, false
+	}
+	return lockOp{call: call, key: mode + ":" + types.ExprString(sel.X), lock: lock}, true
+}
+
+func (LockBalance) Check(p *Pass) {
+	for _, f := range p.Files {
+		for _, body := range functionBodies(f) {
+			checkLockBalance(p, body)
+		}
+	}
+}
+
+func checkLockBalance(p *Pass, body *ast.BlockStmt) {
+	// Quick reject: no sync lock calls in this body at all.
+	any := false
+	inspectOwn(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, isOp := syncLockOp(p, call); isOp {
+				any = true
+			}
+		}
+		return !any
+	})
+	if !any {
+		return
+	}
+
+	g := flowBuild(body, p.Info)
+	// lockSites maps a positioned held-fact back to its Lock call for
+	// reporting.
+	lockSites := make(map[string]*ast.CallExpr)
+
+	transfer := func(n ast.Node, in flowFacts) flowFacts {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			// A deferred unlock discharges the hold at every exit from
+			// here on: register a D-fact. Both direct `defer mu.Unlock()`
+			// and `defer func() { ...mu.Unlock()... }()` count.
+			if op, isOp := syncLockOp(p, d.Call); isOp && !op.lock {
+				in["D:"+op.key] = true
+				return in
+			}
+			if lit, isLit := d.Call.Fun.(*ast.FuncLit); isLit {
+				inspectOwn(lit.Body, func(m ast.Node) bool {
+					if call, isCall := m.(*ast.CallExpr); isCall {
+						if op, isOp := syncLockOp(p, call); isOp && !op.lock {
+							in["D:"+op.key] = true
+						}
+					}
+					return true
+				})
+			}
+			return in
+		}
+		inspectOwn(n, func(m ast.Node) bool {
+			call, isCall := m.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			op, isOp := syncLockOp(p, call)
+			if !isOp {
+				return true
+			}
+			if op.lock {
+				site := "H:" + op.key + "@" + strconv.Itoa(int(call.Pos()))
+				lockSites[site] = call
+				in[site] = true
+				in["h:"+op.key] = true
+			} else {
+				for k := range in {
+					if k == "h:"+op.key || (len(k) > 2 && k[0] == 'H' && matchHeldKey(k, op.key)) {
+						delete(in, k)
+					}
+				}
+			}
+			return true
+		})
+		return in
+	}
+
+	// May-analysis: a held-fact surviving to Exit on SOME path without a
+	// matching deferred unlock is a lock leaked across a return.
+	may := flowForward(g, nil, transfer, true)
+	atExit := may.AtExit()
+	for k := range atExit {
+		if len(k) < 2 || k[0] != 'H' {
+			continue
+		}
+		key := heldKeyOf(k)
+		if atExit["D:"+key] {
+			continue
+		}
+		call := lockSites[k]
+		if call == nil {
+			continue
+		}
+		name := key[2:]
+		p.Report(call, "lockbalance",
+			fmt.Sprintf("%s is locked here but some path reaches return without unlocking it", name),
+			fmt.Sprintf("defer %s.Unlock() right after the Lock, or unlock on every branch", name))
+	}
+
+	// Must-analysis: the lock held on EVERY path into another Lock of the
+	// same mutex is a guaranteed self-deadlock (sync mutexes are not
+	// reentrant).
+	must := flowForward(g, nil, transfer, false)
+	must.Walk(func(n ast.Node, at flowFacts) {
+		inspectOwn(n, func(m ast.Node) bool {
+			call, isCall := m.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			op, isOp := syncLockOp(p, call)
+			if !isOp || !op.lock {
+				return true
+			}
+			if at["h:"+op.key] && !at["D:"+op.key] {
+				name := op.key[2:]
+				p.Report(call, "lockbalance",
+					fmt.Sprintf("%s is already held on every path reaching this Lock — this deadlocks", name),
+					"unlock first, or split the critical section")
+			}
+			return true
+		})
+	})
+}
+
+// matchHeldKey reports whether positioned held-fact k ("H:W:e.mu@123")
+// refers to lock key ("W:e.mu").
+func matchHeldKey(k, key string) bool {
+	body := heldKeyOf(k)
+	return body == key
+}
+
+// heldKeyOf strips the "H:" prefix and "@pos" suffix of a held-fact.
+func heldKeyOf(k string) string {
+	body := k[2:]
+	for i := len(body) - 1; i >= 0; i-- {
+		if body[i] == '@' {
+			return body[:i]
+		}
+	}
+	return body
+}

@@ -1,0 +1,97 @@
+// Package aliasretain exercises the call-scoped aliasing contract: values
+// an annotated API documents as views of a caller-owned buffer must not
+// outlive the call that produced them.
+package aliasretain
+
+// View is a zero-copy decode target.
+type View struct {
+	Data []byte
+	Seq  int
+}
+
+// Holder outlives individual parse calls.
+type Holder struct {
+	last []byte
+}
+
+// ParseInto fills v with a view of b.
+//
+//lint:aliases v: v.Data aliases b until the buffer's next reuse
+func ParseInto(v *View, b []byte) {
+	v.Data = b
+}
+
+// Window returns a view of the holder's scratch.
+//
+//lint:aliases return: the returned slice aliases h's scratch buffer
+func (h *Holder) Window() []byte {
+	return h.last
+}
+
+var global *View
+var keep []byte
+
+// RetainGlobal stores the view in a package variable.
+func RetainGlobal(buf []byte) {
+	v := &View{}
+	ParseInto(v, buf)
+	global = v // want aliasretain
+}
+
+// RetainField stores view bytes through a caller-retained pointer.
+func RetainField(h *Holder, buf []byte) {
+	var v View
+	ParseInto(&v, buf)
+	h.last = v.Data // want aliasretain
+}
+
+// RetainPropagated reaches the sink through a local alias.
+func RetainPropagated(h *Holder, buf []byte) {
+	var v View
+	ParseInto(&v, buf)
+	d := v.Data
+	h.last = d // want aliasretain
+}
+
+// SendView leaks the view across a channel.
+func SendView(ch chan []byte, buf []byte) {
+	var v View
+	ParseInto(&v, buf)
+	ch <- v.Data // want aliasretain
+}
+
+// EscapeClosure captures the view in a returned closure.
+func EscapeClosure(buf []byte) func() int {
+	var v View
+	ParseInto(&v, buf)
+	return func() int { return len(v.Data) } // want aliasretain
+}
+
+// RetainReturn keeps a `return`-annotated result.
+func RetainReturn(h *Holder) {
+	w := h.Window()
+	keep = w // want aliasretain
+}
+
+// CopyOK copies the bytes before retaining — no finding.
+func CopyOK(h *Holder, buf []byte) {
+	var v View
+	ParseInto(&v, buf)
+	h.last = append([]byte(nil), v.Data...)
+}
+
+// ScalarOK copies a non-reference field out of the view — no finding.
+func ScalarOK(buf []byte) int {
+	var v View
+	ParseInto(&v, buf)
+	seq := v.Seq
+	return seq
+}
+
+// InlineClosureOK runs the closure inside the frame — no finding.
+func InlineClosureOK(buf []byte) int {
+	var v View
+	ParseInto(&v, buf)
+	n := func() int { return len(v.Data) }()
+	return n
+}

@@ -1,0 +1,43 @@
+// Package atomicmix exercises the all-or-nothing sync/atomic rule: once a
+// field is accessed atomically anywhere, every plain access of it races.
+package atomicmix
+
+import "sync/atomic"
+
+// C mixes an atomically-used counter with a plainly-used one.
+type C struct {
+	n int64 // accessed via sync/atomic below
+	m int64 // never atomic: plain access fine
+}
+
+// Add is the sanctioned atomic access.
+func Add(c *C) {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Racy reads the atomic field plainly.
+func Racy(c *C) int64 {
+	return c.n // want atomicmix
+}
+
+// StoreRacy writes it plainly.
+func StoreRacy(c *C) {
+	c.n = 5 // want atomicmix
+}
+
+// PlainOther touches the never-atomic field — no finding.
+func PlainOther(c *C) int64 {
+	return c.m
+}
+
+var gen int64
+
+// Bump uses the package counter atomically.
+func Bump() {
+	atomic.StoreInt64(&gen, 1)
+}
+
+// ReadGen reads it plainly.
+func ReadGen() int64 {
+	return gen // want atomicmix
+}

@@ -1,0 +1,51 @@
+// Package ctxleak exercises the supervision-tree contract: goroutines in
+// supervised packages must observe a ctx or done channel on some path.
+package ctxleak
+
+import "context"
+
+// Spawn demonstrates the sanctioned shapes and the leak.
+func Spawn(ctx context.Context, work chan int) {
+	// Selects on ctx.Done — fine.
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+	// A channel argument is the caller's declaration of a done signal.
+	go drain(work)
+	// Observes nothing: can outlive its supervisor.
+	go func() { // want ctxleak
+		for {
+			step()
+		}
+	}()
+}
+
+// SpawnNamed resolves the named function's body one level deep.
+func SpawnNamed() {
+	go tick() // want ctxleak
+}
+
+// SpawnNamedOK: the named function ranges a closable channel.
+func SpawnNamedOK(ch chan int) {
+	go drain(ch)
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func tick() {
+	for {
+		step()
+	}
+}
+
+func step() {}

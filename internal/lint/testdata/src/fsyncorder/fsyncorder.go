@@ -1,0 +1,16 @@
+// Package fsyncorder exercises the outside-durable layer of the rule:
+// os.Rename anywhere but a durable package must go through the helpers.
+package fsyncorder
+
+import "os"
+
+// Move renames directly — the finding.
+func Move(a, b string) error {
+	return os.Rename(a, b) // want fsyncorder
+}
+
+// MoveAllowed carries a justified suppression — no finding.
+func MoveAllowed(a, b string) error {
+	//lint:allow fsyncorder: fixture demonstrating a justified direct rename on a scratch path
+	return os.Rename(a, b)
+}

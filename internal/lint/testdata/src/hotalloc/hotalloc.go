@@ -1,0 +1,75 @@
+// Package hotalloc exercises the build-time allocation budget: a
+// //lint:hotpath function and its same-package static callees must not
+// allocate, with error/panic paths exempt.
+package hotalloc
+
+import "fmt"
+
+// Hot is the annotated root; appendInt is pulled into the budget.
+//
+//lint:hotpath: fixture wire path must stay 0 allocs/op per bench budget
+func Hot(dst []byte, vals []int) []byte {
+	for _, v := range vals {
+		dst = appendInt(dst, v)
+	}
+	return dst
+}
+
+// appendInt is hot transitively (called from Hot).
+func appendInt(b []byte, v int) []byte {
+	b = append(b, byte(v)) // self-append: the owned-buffer idiom, fine
+	tmp := make([]byte, 4) // want hotalloc
+	_ = tmp
+	return b
+}
+
+// HotBad collects the other allocating shapes.
+//
+//lint:hotpath: closures, fmt, and foreign appends stay off this path
+func HotBad(b []byte, n int) []byte {
+	f := func() int { return n }     // want hotalloc
+	fmt.Println(n)                   // want hotalloc
+	out := append([]byte(nil), b...) // want hotalloc
+	s := string(b)                   // want hotalloc
+	_ = s
+	_ = f
+	return out
+}
+
+// HotErr allocates only on the error path — exempt, no finding.
+//
+//lint:hotpath: success path is allocation-free; error path is cold
+func HotErr(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("empty input (%d bytes)", len(b))
+	}
+	return b, nil
+}
+
+// HotPanic allocates only inside panic — exempt, no finding.
+//
+//lint:hotpath: the panic path is a programming error, not the hot path
+func HotPanic(b []byte) byte {
+	if len(b) == 0 {
+		panic(fmt.Sprintf("empty buffer %v", b))
+	}
+	return b[0]
+}
+
+// boxer has an interface-taking method.
+type boxer interface {
+	Put(x any)
+}
+
+// HotBox boxes a non-pointer value into an interface parameter.
+//
+//lint:hotpath: interface boxing allocates and is off-budget here
+func HotBox(w boxer, v int) {
+	w.Put(v) // want hotalloc
+}
+
+// Cold is unannotated: the same constructs draw no findings.
+func Cold(n int) []byte {
+	out := make([]byte, n)
+	return append(out, fmt.Sprintf("%d", n)...)
+}

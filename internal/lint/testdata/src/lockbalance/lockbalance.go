@@ -1,0 +1,84 @@
+// Package lockbalance exercises the CFG-backed mutex discipline rule:
+// a Lock must reach Unlock on all paths (defer-aware), and re-locking a
+// held mutex is a guaranteed self-deadlock.
+package lockbalance
+
+import "sync"
+
+// S carries both mutex flavors.
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// DeferOK is the canonical shape — no finding.
+func DeferOK(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// BranchesOK unlocks explicitly on the single exit — no finding.
+func BranchesOK(s *S, c bool) {
+	s.mu.Lock()
+	if c {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// DeferLitOK discharges through a deferred closure — no finding.
+func DeferLitOK(s *S) {
+	s.mu.Lock()
+	defer func() {
+		s.n--
+		s.mu.Unlock()
+	}()
+	s.n++
+}
+
+// LeakOnBranch returns while holding on the early path.
+func LeakOnBranch(s *S, c bool) {
+	s.mu.Lock() // want lockbalance
+	if c {
+		return
+	}
+	s.mu.Unlock()
+}
+
+// ReadLeak leaks the read lock the same way.
+func ReadLeak(s *S, c bool) int {
+	s.rw.RLock() // want lockbalance
+	if c {
+		return -1
+	}
+	n := s.n
+	s.rw.RUnlock()
+	return n
+}
+
+// DoubleLock re-locks a mutex held on every path.
+func DoubleLock(s *S) {
+	s.mu.Lock()
+	s.mu.Lock() // want lockbalance
+	s.n++
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// unlockOnly is a called-with-lock-held helper: unlock without a local
+// Lock is deliberately not flagged.
+func unlockOnly(s *S) {
+	s.n++
+	s.mu.Unlock()
+}
+
+// TwoMutexesOK interleaves two locks correctly — no finding.
+func TwoMutexesOK(s *S) {
+	s.mu.Lock()
+	s.rw.Lock()
+	s.n++
+	s.rw.Unlock()
+	s.mu.Unlock()
+}

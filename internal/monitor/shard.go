@@ -430,6 +430,8 @@ func (s *shard) abandonWith(reason error) error {
 // path: with durability off a warm round performs no allocations (series
 // capacity is preallocated; the shard's one ProbeContext carries the wire
 // scratch).
+//
+//lint:hotpath: warm-round 0 allocs/op budget pinned by TestWarmRoundAllocations
 func (s *shard) probeRound(r int) {
 	cfg := &s.m.cfg
 	now := cfg.Start.Add(time.Duration(r) * cfg.Period)

@@ -33,6 +33,8 @@ func NewBasis(period time.Duration) Basis {
 // and first harmonic. Every consumer — incremental publication, resync
 // rebuild, offline replay — calls this, so their float operation sequences,
 // and therefore their results, are identical.
+//
+//lint:hotpath: evaluated per block per round on the publish path; pure math
 func (b Basis) Waves(r int) (c1, s1, c2, s2 float64) {
 	theta := -2 * math.Pi * b.CyclesPerRound * float64(r)
 	return math.Cos(theta), math.Sin(theta), math.Cos(2 * theta), math.Sin(2 * theta)
@@ -74,6 +76,8 @@ type StreamAcc struct {
 // Add folds one round's availability value into the accumulator against the
 // basis waves for that round. Rounds arrive strictly in order, so the round
 // index is the current count.
+//
+//lint:hotpath: folded per block per round on the publish path; pure arithmetic
 func (a *StreamAcc) Add(v, c1, s1, c2, s2 float64) {
 	r := float64(a.N)
 	a.Re1 += v * c1
