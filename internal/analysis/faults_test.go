@@ -24,6 +24,52 @@ func blockJSON(t *testing.T, mb MeasuredBlock) string {
 	return string(data)
 }
 
+// TestMeasureWorldBatchScalarEquivalence is the study-level gate on batched
+// probe delivery: over a faulty world, a ScalarProbe study and batched
+// studies at several group sizes must agree block for block — same
+// classifications, same degradation counters, same fault accounting.
+func TestMeasureWorldBatchScalarEquivalence(t *testing.T) {
+	w, err := world.Generate(world.Config{Blocks: 40, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := StudyConfig{
+		Days: 3,
+		Seed: 41,
+		Faults: faults.Config{
+			Seed:              41 ^ 0xfa17,
+			LossRate:          0.02,
+			CorruptRate:       0.01,
+			RateLimitPerRound: 12,
+		},
+		Retry: trinocular.RetryConfig{MaxAttempts: 2},
+	}
+
+	scalar := base
+	scalar.ScalarProbe = true
+	want, err := MeasureWorld(w, scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.FaultTotals().Probes == 0 {
+		t.Fatal("fault fixture saw no probes; the equivalence is vacuous")
+	}
+
+	for _, group := range []int{1, 7, 64} {
+		cfg := base
+		cfg.BatchGroup = group
+		got, err := MeasureWorld(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Blocks {
+			if blockJSON(t, got.Blocks[i]) != blockJSON(t, want.Blocks[i]) {
+				t.Fatalf("group size %d, block %d: batched study diverged from scalar", group, i)
+			}
+		}
+	}
+}
+
 // TestMeasureWorldCheckpointResume simulates a killed study: a complete
 // checkpoint file is truncated to a prefix plus a torn trailing line, and the
 // resumed run must reproduce the uninterrupted study exactly.

@@ -21,6 +21,7 @@ import (
 	"sleepnet/internal/core"
 	"sleepnet/internal/faults"
 	"sleepnet/internal/metrics"
+	"sleepnet/internal/netsim"
 	"sleepnet/internal/outage"
 	"sleepnet/internal/trinocular"
 	"sleepnet/internal/world"
@@ -116,6 +117,15 @@ type StudyConfig struct {
 	// QuarantineFailedFrac is the failed-round fraction above which a block
 	// is quarantined instead of classified (default 0.25).
 	QuarantineFailedFrac float64
+	// ScalarProbe forces per-probe delivery instead of the default batched
+	// wavefronts. Results are identical either way (the batch path only
+	// amortizes the netsim boundary cost); the knob exists for A/B
+	// benchmarks and equivalence tests.
+	ScalarProbe bool
+	// BatchGroup is how many blocks one worker measures in lockstep so
+	// their rounds share a batched boundary crossing (default 64). Ignored
+	// under ScalarProbe.
+	BatchGroup int
 	// CheckpointPath, when set, appends each measured block to a JSONL
 	// checkpoint file as it completes.
 	CheckpointPath string
@@ -139,6 +149,9 @@ func (c StudyConfig) withDefaults() StudyConfig {
 	}
 	if c.QuarantineFailedFrac == 0 {
 		c.QuarantineFailedFrac = 0.25
+	}
+	if c.BatchGroup <= 0 {
+		c.BatchGroup = 64
 	}
 	return c
 }
@@ -189,38 +202,78 @@ func MeasureWorld(w *world.World, sc StudyConfig) (*Study, error) {
 		defer cw.Close()
 	}
 
-	var wg sync.WaitGroup
-	idxCh := make(chan int)
-	errCh := make(chan error, sc.Workers)
-	for wk := 0; wk < sc.Workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idxCh {
-				stop := sm.blockSeconds.Time()
-				mb := measureOne(pl, w.Blocks[i])
-				finishBlock(&mb, inj, cfg.Rounds, sc.QuarantineFailedFrac)
-				stop()
-				sm.record(mb)
-				study.Blocks[i] = mb
-				if cw != nil {
-					if err := cw.Append(i, mb); err != nil {
-						select {
-						case errCh <- err:
-						default:
-						}
-					}
-				}
-			}
-		}()
+	// Work is dealt in groups: one worker measures a group of blocks in
+	// lockstep so every round of the group crosses the netsim boundary as
+	// one batched wavefront (RunBlocks). Under ScalarProbe each group is
+	// measured block by block through the per-probe path instead.
+	groupSize := sc.BatchGroup
+	if sc.ScalarProbe {
+		groupSize = 1
 	}
+	var groups [][]int
+	var cur []int
 	for i := range w.Blocks {
 		if done[i] {
 			continue
 		}
-		idxCh <- i
+		cur = append(cur, i)
+		if len(cur) == groupSize {
+			groups = append(groups, cur)
+			cur = nil
+		}
 	}
-	close(idxCh)
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+
+	var wg sync.WaitGroup
+	groupCh := make(chan []int)
+	errCh := make(chan error, sc.Workers)
+	commit := func(i int, mb MeasuredBlock) {
+		finishBlock(&mb, inj, cfg.Rounds, sc.QuarantineFailedFrac)
+		sm.record(mb)
+		study.Blocks[i] = mb
+		if cw != nil {
+			if err := cw.Append(i, mb); err != nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+			}
+		}
+	}
+	for wk := 0; wk < sc.Workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids := make([]netsim.BlockID, 0, groupSize)
+			for idxs := range groupCh {
+				if sc.ScalarProbe {
+					for _, i := range idxs {
+						stop := sm.blockSeconds.Time()
+						mb := measureOne(pl, w.Blocks[i])
+						stop()
+						commit(i, mb)
+					}
+					continue
+				}
+				ids = ids[:0]
+				for _, i := range idxs {
+					ids = append(ids, w.Blocks[i].ID)
+				}
+				stop := sm.blockSeconds.Time()
+				runs, errs := pl.RunBlocks(ids)
+				stop()
+				for k, i := range idxs {
+					commit(i, blockFromRun(w.Blocks[i], runs[k], errs[k]))
+				}
+			}
+		}()
+	}
+	for _, g := range groups {
+		groupCh <- g
+	}
+	close(groupCh)
 	wg.Wait()
 	select {
 	case err := <-errCh:
@@ -290,8 +343,14 @@ func finishBlock(mb *MeasuredBlock, inj *faults.Injector, rounds int, quarantine
 }
 
 func measureOne(pl *core.Pipeline, info *world.BlockInfo) MeasuredBlock {
-	mb := MeasuredBlock{Info: info}
 	run, err := pl.RunBlock(info.ID)
+	return blockFromRun(info, run, err)
+}
+
+// blockFromRun converts one block's pipeline result (from RunBlock or a
+// RunBlocks group slot) into its study record.
+func blockFromRun(info *world.BlockInfo, run *core.BlockRun, err error) MeasuredBlock {
+	mb := MeasuredBlock{Info: info}
 	if err != nil {
 		if isSparse(err) {
 			mb.Sparse = true

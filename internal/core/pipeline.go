@@ -135,10 +135,22 @@ func NewPipeline(net *netsim.Network, cfg PipelineConfig) *Pipeline {
 // Config returns the effective (defaulted) configuration.
 func (pl *Pipeline) Config() PipelineConfig { return pl.cfg }
 
-// RunBlock measures one block end to end. The block must be registered in
-// the pipeline's network. Sparse blocks (fewer ever-active addresses than
-// the Trinocular policy floor) return trinocular.ErrTooSparse.
-func (pl *Pipeline) RunBlock(id netsim.BlockID) (*BlockRun, error) {
+// blockRunner is one block's measurement in flight: the per-block prober,
+// estimator, and accumulating record. RunBlock drives one runner round by
+// round; RunBlocks drives a group of them in lockstep so a whole group's
+// round crosses the netsim boundary as one batched wavefront. Both paths
+// share step and finish, so they cannot drift.
+type blockRunner struct {
+	pl      *Pipeline
+	id      netsim.BlockID
+	prober  *trinocular.Prober
+	est     *Estimator
+	run     *BlockRun
+	samples []timeseries.Sample
+}
+
+// newBlockRunner validates the block and assembles its measurement state.
+func (pl *Pipeline) newBlockRunner(id netsim.BlockID) (*blockRunner, error) {
 	blk := pl.net.Block(id)
 	if blk == nil {
 		return nil, fmt.Errorf("core: block %s not in network", id)
@@ -150,64 +162,71 @@ func (pl *Pipeline) RunBlock(id netsim.BlockID) (*BlockRun, error) {
 	if err := prober.AddBlock(id, blk.EverActive()); err != nil {
 		return nil, err
 	}
+	return &blockRunner{
+		pl:     pl,
+		id:     id,
+		prober: prober,
+		est:    NewEstimator(pl.cfg.InitialA),
+		run: &BlockRun{
+			ID:          id,
+			Operational: make([]float64, 0, pl.cfg.Rounds),
+			LongTerm:    make([]float64, 0, pl.cfg.Rounds),
+			RawRate:     make([]float64, 0, pl.cfg.Rounds),
+		},
+		samples: make([]timeseries.Sample, 0, pl.cfg.Rounds),
+	}, nil
+}
 
-	run := &BlockRun{
-		ID:          id,
-		Operational: make([]float64, 0, pl.cfg.Rounds),
-		LongTerm:    make([]float64, 0, pl.cfg.Rounds),
-		RawRate:     make([]float64, 0, pl.cfg.Rounds),
+// step folds round r's observation into the record. obs is a pointer only
+// to avoid copying the ~96-byte struct once per round on the hot path; it
+// is read, never mutated.
+func (br *blockRunner) step(r int, obs *trinocular.RoundObs) {
+	run, est := br.run, br.est
+	if obs.Changed {
+		run.Outages = append(run.Outages, OutageEvent{Round: r, Down: !obs.Up})
 	}
-	est := NewEstimator(pl.cfg.InitialA)
-	samples := make([]timeseries.Sample, 0, pl.cfg.Rounds)
-
-	stopProbe := pl.pm.probeSeconds.Time()
-	for r := 0; r < pl.cfg.Rounds; r++ {
-		now := pl.cfg.Start.Add(time.Duration(r) * pl.cfg.Period)
-		obs, err := prober.ProbeRound(id, now, est.Operational())
-		if err != nil {
-			return nil, err
-		}
-		if obs.Changed {
-			run.Outages = append(run.Outages, OutageEvent{Round: r, Down: !obs.Up})
-		}
-		run.Retries += obs.Retries
-		run.SendErrors += obs.SendErrors
-		run.RateLimited += obs.RateLimited
-		if obs.Failed() {
-			// A round with no usable observation is a gap in the record,
-			// exactly like a missing collection artifact: no sample, no
-			// estimator update, gap-filled by cleaning.
-			run.FailedRounds++
-			run.Operational = append(run.Operational, est.Operational())
-			run.LongTerm = append(run.LongTerm, est.LongTerm())
-			run.RawRate = append(run.RawRate, 0)
-			continue
-		}
-		// Collection artifacts: some observations never make it into the
-		// recorded dataset, some are recorded twice. The estimator is part
-		// of the analysis (recomputed from records), so a lost record is
-		// also never observed.
-		switch artifactFor(pl.cfg, id, r) {
-		case artifactMissing:
-		case artifactDuplicate:
-			est.Observe(obs.Positive, obs.Total)
-			s := timeseries.Sample{Round: r, Value: est.ShortTerm()}
-			samples = append(samples, s, s)
-		default:
-			est.Observe(obs.Positive, obs.Total)
-			samples = append(samples, timeseries.Sample{Round: r, Value: est.ShortTerm()})
-		}
+	run.Retries += obs.Retries
+	run.SendErrors += obs.SendErrors
+	run.RateLimited += obs.RateLimited
+	if obs.Failed() {
+		// A round with no usable observation is a gap in the record,
+		// exactly like a missing collection artifact: no sample, no
+		// estimator update, gap-filled by cleaning.
+		run.FailedRounds++
 		run.Operational = append(run.Operational, est.Operational())
 		run.LongTerm = append(run.LongTerm, est.LongTerm())
-		run.RawRate = append(run.RawRate, obs.Rate())
+		run.RawRate = append(run.RawRate, 0)
+		return
 	}
-	stopProbe()
-	run.ProbesSent = prober.ProbesSent()
+	// Collection artifacts: some observations never make it into the
+	// recorded dataset, some are recorded twice. The estimator is part
+	// of the analysis (recomputed from records), so a lost record is
+	// also never observed.
+	switch artifactFor(&br.pl.cfg, br.id, r) {
+	case artifactMissing:
+	case artifactDuplicate:
+		est.Observe(obs.Positive, obs.Total)
+		s := timeseries.Sample{Round: r, Value: est.ShortTerm()}
+		br.samples = append(br.samples, s, s)
+	default:
+		est.Observe(obs.Positive, obs.Total)
+		br.samples = append(br.samples, timeseries.Sample{Round: r, Value: est.ShortTerm()})
+	}
+	run.Operational = append(run.Operational, est.Operational())
+	run.LongTerm = append(run.LongTerm, est.LongTerm())
+	run.RawRate = append(run.RawRate, obs.Rate())
+}
+
+// finish runs the post-probing chain — cleaning, midnight trim, spectral
+// classification — and returns the completed record.
+func (br *blockRunner) finish() (*BlockRun, error) {
+	pl, run, id := br.pl, br.run, br.id
+	run.ProbesSent = br.prober.ProbesSent()
 	pl.pm.rounds.Add(int64(pl.cfg.Rounds))
 	pl.pm.failedRounds.Add(int64(run.FailedRounds))
 
 	stopClean := pl.pm.cleanSeconds.Time()
-	cleaned, st, err := timeseries.Clean(samples, pl.cfg.Rounds)
+	cleaned, st, err := timeseries.Clean(br.samples, pl.cfg.Rounds)
 	if err != nil {
 		return nil, fmt.Errorf("core: cleaning block %s: %w", id, err)
 	}
@@ -234,6 +253,87 @@ func (pl *Pipeline) RunBlock(id netsim.BlockID) (*BlockRun, error) {
 	return run, nil
 }
 
+// RunBlock measures one block end to end. The block must be registered in
+// the pipeline's network. Sparse blocks (fewer ever-active addresses than
+// the Trinocular policy floor) return trinocular.ErrTooSparse.
+func (pl *Pipeline) RunBlock(id netsim.BlockID) (*BlockRun, error) {
+	br, err := pl.newBlockRunner(id)
+	if err != nil {
+		return nil, err
+	}
+	stopProbe := pl.pm.probeSeconds.Time()
+	for r := 0; r < pl.cfg.Rounds; r++ {
+		now := pl.cfg.Start.Add(time.Duration(r) * pl.cfg.Period)
+		obs, err := br.prober.ProbeRound(id, now, br.est.Operational())
+		if err != nil {
+			return nil, err
+		}
+		br.step(r, &obs)
+	}
+	stopProbe()
+	return br.finish()
+}
+
+// RunBlocks measures a group of blocks in lockstep: every round, the whole
+// group's probes cross the netsim boundary as one batched wavefront
+// (trinocular.ProbeRoundsBatchGroup), amortizing the per-packet routing,
+// locking, and counter cost RunBlock pays. Each block keeps its own prober
+// (its own walk seed) and its own record; runs[i]/errs[i] report block
+// ids[i], exactly what RunBlock(ids[i]) would have returned — block state
+// never crosses lanes, so the lockstep interleaving is unobservable. Over a
+// network without the batched fast path the group degrades to scalar
+// rounds.
+func (pl *Pipeline) RunBlocks(ids []netsim.BlockID) (runs []*BlockRun, errs []error) {
+	runs = make([]*BlockRun, len(ids))
+	errs = make([]error, len(ids))
+	runners := make([]*blockRunner, len(ids))
+	live := make([]int, 0, len(ids))
+	for i, id := range ids {
+		br, err := pl.newBlockRunner(id)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		runners[i] = br
+		live = append(live, i)
+	}
+
+	bc := trinocular.NewBatchContext()
+	probers := make([]*trinocular.Prober, 0, len(live))
+	bids := make([]netsim.BlockID, 0, len(live))
+	aOps := make([]float64, 0, len(live))
+	obs := make([]trinocular.RoundObs, len(live))
+
+	stopProbe := pl.pm.probeSeconds.Time()
+	for r := 0; r < pl.cfg.Rounds && len(live) > 0; r++ {
+		now := pl.cfg.Start.Add(time.Duration(r) * pl.cfg.Period)
+		probers, bids, aOps = probers[:0], bids[:0], aOps[:0]
+		for _, i := range live {
+			br := runners[i]
+			probers = append(probers, br.prober)
+			bids = append(bids, br.id)
+			aOps = append(aOps, br.est.Operational())
+		}
+		if err := trinocular.ProbeRoundsBatchGroup(bc, probers, bids, aOps, now, obs[:len(live)]); err != nil {
+			// Only possible for construction invariant violations (untracked
+			// block, shape mismatch); every in-flight block inherits it.
+			for _, i := range live {
+				errs[i] = err
+				runners[i] = nil
+			}
+			live = live[:0]
+		}
+		for k, i := range live {
+			runners[i].step(r, &obs[k])
+		}
+	}
+	stopProbe()
+	for _, i := range live {
+		runs[i], errs[i] = runners[i].finish()
+	}
+	return runs, errs
+}
+
 type artifactKind int
 
 const (
@@ -243,8 +343,9 @@ const (
 )
 
 // artifactFor deterministically decides whether round r of a block suffers
-// a collection artifact.
-func artifactFor(cfg PipelineConfig, id netsim.BlockID, r int) artifactKind {
+// a collection artifact. cfg is a pointer only to avoid copying the config
+// struct once per round; it is read, never mutated.
+func artifactFor(cfg *PipelineConfig, id netsim.BlockID, r int) artifactKind {
 	if cfg.MissingRate <= 0 && cfg.DuplicateRate <= 0 {
 		return artifactNone
 	}

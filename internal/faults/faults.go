@@ -163,6 +163,27 @@ func (in *Injector) blackedOut(now time.Time) bool {
 func (in *Injector) Outbound(dst netsim.Addr, now time.Time) (time.Time, netsim.TapVerdict) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	return in.outboundLocked(dst, now)
+}
+
+// OutboundBatch implements netsim.TapBatch: one lock acquisition decides a
+// whole batch of probes, filling times[i]/verdicts[i] with exactly what
+// sequential Outbound calls would have returned in slice order. Legal
+// because every draw is PRF-pure per (destination, timestamp) and the only
+// stateful decision — the per-block rate-limit window — sees each block's
+// probes in the same relative order either way; Inbound's corruption draw
+// is likewise pure, so deciding all outbound fates before any inbound
+// processing cannot change any decision.
+func (in *Injector) OutboundBatch(dsts []netsim.Addr, now time.Time, times []time.Time, verdicts []netsim.TapVerdict) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, dst := range dsts {
+		times[i], verdicts[i] = in.outboundLocked(dst, now)
+	}
+}
+
+// outboundLocked is Outbound's body; in.mu must be held.
+func (in *Injector) outboundLocked(dst netsim.Addr, now time.Time) (time.Time, netsim.TapVerdict) {
 	st := in.block(dst.Block)
 	st.stats.Probes++
 
@@ -248,4 +269,7 @@ func (in *Injector) Totals() Stats {
 	return total
 }
 
-var _ netsim.Tap = (*Injector)(nil)
+var (
+	_ netsim.Tap      = (*Injector)(nil)
+	_ netsim.TapBatch = (*Injector)(nil)
+)

@@ -1,11 +1,13 @@
 package faults
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 	"time"
 
 	"sleepnet/internal/icmp"
+	"sleepnet/internal/ipv4"
 	"sleepnet/internal/netsim"
 )
 
@@ -226,5 +228,109 @@ func TestNetworkIntegration(t *testing.T) {
 	r = probeOnce(5, epoch)
 	if r.Timeout {
 		t.Fatalf("untapped probe timed out: %+v", r)
+	}
+}
+
+// TestOutboundBatchMatchesSequential pins the TapBatch contract on the
+// injector directly: one OutboundBatch call must fill exactly what
+// sequential Outbound calls return, in slice order, including the
+// stateful per-block rate-limit decisions.
+func TestOutboundBatchMatchesSequential(t *testing.T) {
+	cfg := Config{
+		Seed: 11, LossRate: 0.2, RateLimitPerRound: 3,
+		RateLimitWindow: 660 * time.Second,
+		ClockSkew:       150 * time.Millisecond,
+		BlackoutEvery:   30 * time.Minute, BlackoutFor: 2 * time.Minute,
+		Epoch: epoch,
+	}
+	seq, bat := New(cfg), New(cfg)
+	var dsts []netsim.Addr
+	for i := 0; i < 120; i++ {
+		dsts = append(dsts, netsim.Addr{Block: netsim.MakeBlockID(10, 1, byte(i%4)), Host: byte(i)})
+	}
+	times := make([]time.Time, len(dsts))
+	verdicts := make([]netsim.TapVerdict, len(dsts))
+	for round := 0; round < 12; round++ {
+		now := epoch.Add(time.Duration(round) * 5 * time.Minute)
+		bat.OutboundBatch(dsts, now, times, verdicts)
+		for i, dst := range dsts {
+			wt, wv := seq.Outbound(dst, now)
+			if !times[i].Equal(wt) || verdicts[i] != wv {
+				t.Fatalf("round %d probe %d: batch (%v,%v) != sequential (%v,%v)",
+					round, i, times[i], verdicts[i], wt, wv)
+			}
+		}
+	}
+	if st, bt := seq.Totals(), bat.Totals(); st != bt {
+		t.Fatalf("stats diverged: sequential %v, batch %v", st, bt)
+	}
+}
+
+// TestInjectorBatchDeliveryEquivalence runs the real injector under
+// netsim.DeliverBatch vs the scalar path: byte-identical responses and
+// identical fault accounting.
+func TestInjectorBatchDeliveryEquivalence(t *testing.T) {
+	cfg := Config{
+		Seed: 3, LossRate: 0.15, CorruptRate: 0.2, RateLimitPerRound: 4,
+		RateLimitWindow: 660 * time.Second,
+		ClockSkew:       80 * time.Millisecond,
+		Epoch:           epoch,
+	}
+	mkNet := func() (*netsim.Network, *Injector) {
+		n := netsim.NewNetwork(9)
+		for bi := 0; bi < 3; bi++ {
+			b := &netsim.Block{ID: netsim.MakeBlockID(10, 2, byte(bi)), Seed: uint64(bi), LatencyBase: 20 * time.Millisecond}
+			for h := 0; h < 200; h++ {
+				b.Behaviors[h] = netsim.AlwaysOn{}
+			}
+			n.AddBlock(b)
+		}
+		in := New(cfg)
+		n.SetTap(in)
+		return n, in
+	}
+	mkPkt := func(dst netsim.Addr, s uint16) []byte {
+		echo, err := (&icmp.Echo{ID: 7, Seq: s, Payload: []byte("pp")}).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkt, err := (&ipv4.Header{ID: s, TTL: 64, Protocol: ipv4.ProtoICMP,
+			Src: ipv4.Addr{198, 51, 100, 1}, Dst: ipv4.Addr(dst.IP())}).Marshal(echo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pkt
+	}
+	sNet, sIn := mkNet()
+	bNet, bIn := mkNet()
+	var rb netsim.ReplyBuffer
+	var bb netsim.BatchBuffer
+	for round := 0; round < 10; round++ {
+		now := epoch.Add(time.Duration(round) * 11 * time.Minute)
+		var pkts [][]byte
+		s := uint16(round * 64)
+		for i := 0; i < 48; i++ {
+			dst := netsim.Addr{Block: netsim.MakeBlockID(10, 2, byte(i%3)), Host: byte(i * 5)}
+			pkts = append(pkts, mkPkt(dst, s))
+			s++
+		}
+		want := make([]netsim.Response, 0, len(pkts))
+		for _, pkt := range pkts {
+			r := sNet.DeliverIPInto(&rb, pkt, now)
+			if r.Data != nil {
+				r.Data = append([]byte(nil), r.Data...)
+			}
+			want = append(want, r)
+		}
+		got := bNet.DeliverBatch(&bb, pkts, now)
+		for i := range want {
+			w, g := want[i], got[i]
+			if w.Timeout != g.Timeout || w.SendFailed != g.SendFailed || w.RTT != g.RTT || !bytes.Equal(w.Data, g.Data) {
+				t.Fatalf("round %d probe %d diverged:\n scalar %+v\n batch  %+v", round, i, w, g)
+			}
+		}
+	}
+	if st, bt := sIn.Totals(), bIn.Totals(); st != bt {
+		t.Fatalf("injector stats diverged: scalar %v, batch %v", st, bt)
 	}
 }

@@ -195,10 +195,16 @@ func TTLSurvives(b []byte, hops int) bool {
 // headerChecksum is the RFC 1071 checksum over the header; a valid header
 // (including its checksum field) sums to zero.
 func headerChecksum(b []byte) uint16 {
-	var sum uint32
-	for i := 0; i+1 < len(b); i += 2 {
-		sum += uint32(b[i])<<8 | uint32(b[i+1])
-	}
+	// Every caller passes exactly the 20-byte option-less header, so the
+	// ones-complement sum unrolls to five word loads; folding at the end is
+	// bit-identical to summing 16-bit words (the sum is commutative and
+	// associative, and a uint64 cannot overflow on five 32-bit terms).
+	_ = b[HeaderLen-1]
+	sum := uint64(binary.BigEndian.Uint32(b)) +
+		uint64(binary.BigEndian.Uint32(b[4:8])) +
+		uint64(binary.BigEndian.Uint32(b[8:12])) +
+		uint64(binary.BigEndian.Uint32(b[12:16])) +
+		uint64(binary.BigEndian.Uint32(b[16:20]))
 	for sum > 0xffff {
 		sum = (sum >> 16) + (sum & 0xffff)
 	}

@@ -6,36 +6,48 @@ import (
 )
 
 // TestMonitorRoundAllocFree pins the warm hot path: with durability off, a
-// monitor round over a shard — probe every block through the shard's pooled
-// context, observe into the estimators, extend the preallocated series —
-// must not touch the heap. probeRound is exactly the per-round work; commit
-// and snapshot are the durable (and allocating) cold path by design.
+// monitor round over a shard — probe every block (a whole batched wavefront
+// by default, per-probe under ScalarProbe), observe into the estimators,
+// extend the preallocated series — must not touch the heap. probeRound is
+// exactly the per-round work; commit and snapshot are the durable (and
+// allocating) cold path by design.
 func TestMonitorRoundAllocFree(t *testing.T) {
-	cfg := baseConfig(testNet(8), 128)
-	cfg.Shards = 1
-	m, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := m.shards[0]
-	if err := s.rebuild(); err != nil {
-		t.Fatal(err)
-	}
+	for _, tc := range []struct {
+		name   string
+		scalar bool
+	}{
+		{"batched", false},
+		{"scalar", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := baseConfig(testNet(8), 128)
+			cfg.Shards = 1
+			cfg.ScalarProbe = tc.scalar
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := m.shards[0]
+			if err := s.rebuild(); err != nil {
+				t.Fatal(err)
+			}
 
-	// Warm-up: the initial up transitions land in the event slices and the
-	// probe context grows its wire scratch here.
-	r := 0
-	roundOnce := func() {
-		s.probeRound(r)
-		r++
-	}
-	for i := 0; i < 4; i++ {
-		roundOnce()
-	}
+			// Warm-up: the initial up transitions land in the event slices
+			// and the probe scratch grows its arenas here.
+			r := 0
+			roundOnce := func() {
+				s.probeRound(r)
+				r++
+			}
+			for i := 0; i < 4; i++ {
+				roundOnce()
+			}
 
-	avg := testing.AllocsPerRun(100, roundOnce)
-	if avg != 0 {
-		t.Fatalf("warm monitor round allocates %.2f times per 8-block round, want 0", avg)
+			avg := testing.AllocsPerRun(100, roundOnce)
+			if avg != 0 {
+				t.Fatalf("warm monitor round allocates %.2f times per 8-block round, want 0", avg)
+			}
+		})
 	}
 }
 
@@ -60,7 +72,7 @@ func TestMonitorHeapIsWorkerBound(t *testing.T) {
 			t.Fatalf("run over %d blocks not completed: %+v", blocks, res)
 		}
 		for _, s := range m.shards {
-			retained += s.pc.RetainedBytes()
+			retained += s.pc.RetainedBytes() + s.bc.RetainedBytes()
 			created += s.prober.ContextsCreated()
 		}
 		return retained, created
@@ -68,19 +80,23 @@ func TestMonitorHeapIsWorkerBound(t *testing.T) {
 
 	small, createdSmall := measure(100)
 	big, createdBig := measure(10000)
+	bigger, createdBigger := measure(20000)
 
-	if createdSmall != 0 || createdBig != 0 {
-		t.Errorf("prober context pool was touched (%d/%d contexts): shards must probe through their own context",
-			createdSmall, createdBig)
+	if createdSmall != 0 || createdBig != 0 || createdBigger != 0 {
+		t.Errorf("prober context pool was touched (%d/%d/%d contexts): shards must probe through their own context",
+			createdSmall, createdBig, createdBigger)
 	}
 	if small == 0 {
 		t.Fatal("contexts retain no scratch; the measurement is vacuous")
 	}
-	if big > small {
-		t.Fatalf("probe scratch grew with the world: %d bytes over 10000 blocks vs %d over 100", big, small)
+	// The scratch plateaus: a small world retains less (its batch groups and
+	// route cache never fill), but past the plateau doubling the world must
+	// not move the number at all — the bound is O(shards), not O(blocks).
+	if bigger > big {
+		t.Fatalf("probe scratch grew with the world: %d bytes over 20000 blocks vs %d over 10000", bigger, big)
 	}
 	const perShardCap = 64 << 10
-	if big > 4*perShardCap {
-		t.Fatalf("retained scratch %d bytes exceeds %d per shard", big, perShardCap)
+	if bigger > 4*perShardCap {
+		t.Fatalf("retained scratch %d bytes exceeds %d per shard", bigger, perShardCap)
 	}
 }

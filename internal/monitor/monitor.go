@@ -72,6 +72,11 @@ type Config struct {
 	// InitialA seeds the estimators (default 0.5).
 	InitialA float64
 	Seed     uint64
+	// ScalarProbe forces the per-probe delivery path instead of the default
+	// batched one. Results are identical either way (the batch path only
+	// amortizes the netsim boundary cost); the knob exists for A/B
+	// benchmarks and equivalence tests.
+	ScalarProbe bool
 
 	// WALDir enables durability: per-shard segmented WALs and snapshots
 	// live under it. Empty runs the monitor in-memory only.

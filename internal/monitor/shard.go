@@ -30,6 +30,12 @@ import (
 	"sleepnet/internal/trinocular"
 )
 
+// probeBatchGroup caps how many blocks one batched wavefront carries. Large
+// enough to amortize the per-batch boundary crossing, small enough that the
+// per-lane scratch keeps the shard's steady-state memory O(shards) rather
+// than O(blocks) (TestMonitorHeapIsWorkerBound pins the bound).
+const probeBatchGroup = 64
+
 // Internal control-flow sentinels for a shard attempt's exit.
 var (
 	// errDrained: the context was cancelled and the shard finished its
@@ -62,6 +68,9 @@ type shard struct {
 	// Rebuilt from durable state at the start of every attempt.
 	prober *trinocular.Prober
 	pc     *trinocular.ProbeContext
+	bc     *trinocular.BatchContext // batched-delivery scratch (default path)
+	aOps   []float64                // per-round availability inputs, reused
+	obsBuf []trinocular.RoundObs    // per-round observations, reused
 	mons   []*blockMon
 	round  int // next round to execute
 	wal    *walWriter
@@ -116,6 +125,17 @@ func (s *shard) rebuild() error {
 	cfg := &s.m.cfg
 	s.prober = trinocular.New(cfg.Net, cfg.Prober, cfg.Seed)
 	s.pc = trinocular.NewProbeContext()
+	s.bc = trinocular.NewBatchContext()
+	group := len(s.blocks)
+	if group > probeBatchGroup {
+		group = probeBatchGroup
+	}
+	if cap(s.aOps) < group {
+		s.aOps = make([]float64, group)
+		s.obsBuf = make([]trinocular.RoundObs, group)
+	}
+	s.aOps = s.aOps[:group]
+	s.obsBuf = s.obsBuf[:group]
 	s.mons = s.mons[:0]
 	if cap(s.mons) < len(s.blocks) {
 		s.mons = make([]*blockMon, 0, len(s.blocks))
@@ -428,39 +448,78 @@ func (s *shard) abandonWith(reason error) error {
 
 // probeRound executes one round over the shard's blocks. This is the hot
 // path: with durability off a warm round performs no allocations (series
-// capacity is preallocated; the shard's one ProbeContext carries the wire
-// scratch).
+// capacity is preallocated; the shard's one BatchContext — or ProbeContext
+// in scalar mode — carries the wire scratch). By default the whole shard's
+// round crosses the netsim boundary through the batched delivery path;
+// Config.ScalarProbe falls back to per-probe delivery, with identical
+// results either way (the trinocular equivalence contract).
 //
 //lint:hotpath: warm-round 0 allocs/op budget pinned by TestWarmRoundAllocations
 func (s *shard) probeRound(r int) {
 	cfg := &s.m.cfg
 	now := cfg.Start.Add(time.Duration(r) * cfg.Period)
-	for i, id := range s.blocks {
-		mon := s.mons[i]
-		obs, err := s.prober.ProbeRoundWith(s.pc, id, now, mon.est.Operational())
-		if err != nil {
-			// Only possible for an untracked id — a construction invariant
-			// violation, surfaced through the supervisor's panic recovery.
+	if cfg.ScalarProbe {
+		for i, id := range s.blocks {
+			mon := s.mons[i]
+			obs, err := s.prober.ProbeRoundWith(s.pc, id, now, mon.est.Operational())
+			if err != nil {
+				// Only possible for an untracked id — a construction
+				// invariant violation, surfaced through the supervisor's
+				// panic recovery.
+				panic(err)
+			}
+			s.applyObs(mon, &obs, r)
+		}
+		return
+	}
+	// Wavefronts run over bounded groups, not the whole shard at once: the
+	// batch scratch (lanes, packet arena, reply arena) grows with the
+	// largest batch, so capping the group keeps the shard's retained probe
+	// scratch O(1) no matter the world size — the same memory bound the
+	// scalar path has. Per-block results don't depend on grouping.
+	for g := 0; g < len(s.blocks); g += probeBatchGroup {
+		e := g + probeBatchGroup
+		if e > len(s.blocks) {
+			e = len(s.blocks)
+		}
+		n := e - g
+		for i := 0; i < n; i++ {
+			s.aOps[i] = s.mons[g+i].est.Operational()
+		}
+		if err := s.prober.ProbeRoundsBatch(s.bc, s.blocks[g:e], s.aOps[:n], now, s.obsBuf[:n]); err != nil {
+			// Shape mismatches and untracked ids are construction invariant
+			// violations, surfaced through the supervisor's panic recovery.
 			panic(err)
 		}
-		if obs.Failed() {
-			mon.failed++
-			mon.short = append(mon.short, lastOr(mon.short, cfg.InitialA))
-			mon.lastFailed = true
+		for i := 0; i < n; i++ {
+			s.applyObs(s.mons[g+i], &s.obsBuf[i], r)
+		}
+	}
+}
+
+// applyObs folds one block's round observation into its in-memory
+// accumulation — shared by the batched and scalar probe paths so the two
+// cannot drift. obs is a pointer only to avoid a per-round struct copy; it
+// is read, never mutated.
+func (s *shard) applyObs(mon *blockMon, obs *trinocular.RoundObs, r int) {
+	cfg := &s.m.cfg
+	if obs.Failed() {
+		mon.failed++
+		mon.short = append(mon.short, lastOr(mon.short, cfg.InitialA))
+		mon.lastFailed = true
+	} else {
+		mon.est.Observe(obs.Positive, obs.Total)
+		mon.short = append(mon.short, mon.est.ShortTerm())
+		mon.lastFailed = false
+	}
+	mon.lastEvent = eventNone
+	if obs.Changed {
+		if obs.Up {
+			mon.lastEvent = eventUp
 		} else {
-			mon.est.Observe(obs.Positive, obs.Total)
-			mon.short = append(mon.short, mon.est.ShortTerm())
-			mon.lastFailed = false
+			mon.lastEvent = eventDown
 		}
-		mon.lastEvent = eventNone
-		if obs.Changed {
-			if obs.Up {
-				mon.lastEvent = eventUp
-			} else {
-				mon.lastEvent = eventDown
-			}
-			mon.events = append(mon.events, core.OutageEvent{Round: r, Down: !obs.Up})
-		}
+		mon.events = append(mon.events, core.OutageEvent{Round: r, Down: !obs.Up})
 	}
 }
 

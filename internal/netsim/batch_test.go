@@ -1,0 +1,419 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sleepnet/internal/icmp"
+	"sleepnet/internal/ipv4"
+)
+
+// buildBatchWorld constructs a fresh network exercising every delivery
+// branch: plain blocks, loss, latency jitter, outages with gateway
+// unreachables, reply rate limits, long paths that kill small TTLs.
+// Called once per network under comparison so scalar and batch runs own
+// identical but independent state (rate-limit windows, counters).
+func buildBatchWorld() *Network {
+	n := NewNetwork(42)
+
+	plain := newTestBlock()
+	plain.LatencyBase = 25 * time.Millisecond
+	plain.LatencyJitter = 10 * time.Millisecond
+	n.AddBlock(plain)
+
+	lossy := &Block{ID: MakeBlockID(10, 0, 2), Seed: 5, Loss: 0.3, LatencyBase: 40 * time.Millisecond}
+	for h := 0; h < 256; h++ {
+		lossy.Behaviors[h] = AlwaysOn{}
+	}
+	n.AddBlock(lossy)
+
+	outage := &Block{
+		ID: MakeBlockID(10, 0, 3), Seed: 9,
+		LatencyBase:            15 * time.Millisecond,
+		GatewayUnreachableProb: 0.5,
+		Outages:                []Interval{{Start: at(11, 0), End: at(13, 0)}},
+	}
+	for h := 0; h < 128; h++ {
+		outage.Behaviors[h] = AlwaysOn{}
+	}
+	n.AddBlock(outage)
+
+	limited := &Block{ID: MakeBlockID(10, 0, 4), Seed: 13, ReplyRateLimit: 3, LatencyBase: 10 * time.Millisecond}
+	for h := 0; h < 256; h++ {
+		limited.Behaviors[h] = AlwaysOn{}
+	}
+	n.AddBlock(limited)
+
+	far := &Block{ID: MakeBlockID(10, 0, 5), Seed: 21, Hops: 40, LatencyBase: 90 * time.Millisecond}
+	for h := 0; h < 256; h++ {
+		far.Behaviors[h] = AlwaysOn{}
+	}
+	n.AddBlock(far)
+
+	return n
+}
+
+// orderTap is a deliberately stateful TapBatch: outbound verdicts cycle a
+// per-block counter, inbound corruption/drops cycle a global counter. Any
+// reordering of same-block outbound probes, or of inbound replies overall,
+// changes its decisions — which is exactly what the equivalence tests must
+// prove batching does not do. (Cross-dependence of Inbound on Outbound
+// state is the one thing TapBatch forbids, so there is none here.)
+type orderTap struct {
+	outCount map[BlockID]int
+	inCount  int
+}
+
+func newOrderTap() *orderTap { return &orderTap{outCount: make(map[BlockID]int)} }
+
+func (o *orderTap) Outbound(dst Addr, now time.Time) (time.Time, TapVerdict) {
+	c := o.outCount[dst.Block]
+	o.outCount[dst.Block] = c + 1
+	switch c % 5 {
+	case 1:
+		return now, TapDrop
+	case 3:
+		return now, TapAdminProhibited
+	case 4:
+		return now, TapSendError
+	}
+	// Skew alternate deliveries so delivery-time-dependent draws shift.
+	if c%2 == 0 {
+		return now.Add(17 * time.Millisecond), TapDeliver
+	}
+	return now, TapDeliver
+}
+
+func (o *orderTap) OutboundBatch(dsts []Addr, now time.Time, times []time.Time, verdicts []TapVerdict) {
+	for i, dst := range dsts {
+		times[i], verdicts[i] = o.Outbound(dst, now)
+	}
+}
+
+func (o *orderTap) Inbound(dst Addr, reply []byte, now time.Time) []byte {
+	o.inCount++
+	switch o.inCount % 7 {
+	case 2: // copy-on-corrupt: flip a bit in a fresh slice
+		out := append([]byte(nil), reply...)
+		out[len(out)/2] ^= 0x40
+		return out
+	case 5: // drop the reply
+		return nil
+	}
+	return reply
+}
+
+// mkBatchPkt marshals one full probe packet.
+func mkBatchPkt(t testing.TB, dst Addr, id, seq uint16, ttl byte, payload []byte) []byte {
+	t.Helper()
+	echo, err := (&icmp.Echo{ID: id, Seq: seq, Payload: payload}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := &ipv4.Header{ID: seq, TTL: ttl, Protocol: ipv4.ProtoICMP,
+		Src: ipv4.Addr{198, 51, 100, 1}, Dst: ipv4.Addr(dst.IP())}
+	pkt, err := hdr.Marshal(echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}
+
+// batchSchedule builds one round's worth of packets: several probes per
+// block (enough to trip the rate limits), unrouted space, a TTL death, and
+// every malformed shape the parser rejects.
+func batchSchedule(t testing.TB, r int) [][]byte {
+	t.Helper()
+	var pkts [][]byte
+	blocks := []BlockID{
+		MakeBlockID(10, 0, 1), MakeBlockID(10, 0, 2), MakeBlockID(10, 0, 3),
+		MakeBlockID(10, 0, 4), MakeBlockID(10, 0, 5),
+	}
+	seq := uint16(r * 100)
+	for i := 0; i < 8; i++ {
+		for _, id := range blocks {
+			host := byte((i*37 + r) % 120)
+			pkts = append(pkts, mkBatchPkt(t, id.Addr(host), 7, seq, 64, []byte("probe-payload")))
+			seq++
+		}
+	}
+	// Unrouted space.
+	pkts = append(pkts, mkBatchPkt(t, MakeBlockID(99, 9, 9).Addr(1), 7, seq, 64, nil))
+	seq++
+	// TTL too small for even the shortest derived path.
+	pkts = append(pkts, mkBatchPkt(t, blocks[0].Addr(5), 7, seq, 3, nil))
+	seq++
+	// Malformed: truncated IP header.
+	pkts = append(pkts, []byte{0x45, 0, 0})
+	// Malformed: non-ICMP protocol.
+	udp, err := (&ipv4.Header{TTL: 64, Protocol: ipv4.ProtoUDP, Dst: ipv4.Addr(blocks[0].Addr(1).IP())}).Marshal([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts = append(pkts, udp)
+	// Malformed: echo reply sent as a probe.
+	rep, err := (&icmp.Echo{Reply: true, ID: 7, Seq: seq}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := (&ipv4.Header{TTL: 64, Protocol: ipv4.ProtoICMP, Dst: ipv4.Addr(blocks[1].Addr(2).IP())}).Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts = append(pkts, wrapped)
+	// Malformed: echo with a broken checksum.
+	bad := mkBatchPkt(t, blocks[2].Addr(3), 7, seq, 64, []byte("zz"))
+	bad[len(bad)-1] ^= 0xff
+	pkts = append(pkts, bad)
+	return pkts
+}
+
+// ownedResp deep-copies a Response out of a reused buffer.
+func ownedResp(r Response) Response {
+	if r.Data != nil {
+		r.Data = append([]byte(nil), r.Data...)
+	}
+	return r
+}
+
+// scalarDeliverAll runs the reference path: one DeliverIPInto per packet.
+func scalarDeliverAll(n *Network, buf *ReplyBuffer, pkts [][]byte, now time.Time) []Response {
+	out := make([]Response, 0, len(pkts))
+	for _, pkt := range pkts {
+		out = append(out, ownedResp(n.DeliverIPInto(buf, pkt, now)))
+	}
+	return out
+}
+
+func respEqual(a, b Response) bool {
+	return a.Timeout == b.Timeout && a.SendFailed == b.SendFailed &&
+		a.RTT == b.RTT && bytes.Equal(a.Data, b.Data)
+}
+
+// checkNetsEqual compares all observable per-network accounting.
+func checkNetsEqual(t *testing.T, scalar, batch *Network) {
+	t.Helper()
+	s, b := &scalar.Stats, &batch.Stats
+	if s.Probes.Load() != b.Probes.Load() || s.Replies.Load() != b.Replies.Load() ||
+		s.Timeouts.Load() != b.Timeouts.Load() || s.Lost.Load() != b.Lost.Load() ||
+		s.Malformed.Load() != b.Malformed.Load() || s.RateLimited.Load() != b.RateLimited.Load() {
+		t.Fatalf("stats diverged:\n scalar %s rate=%d\n batch  %s rate=%d",
+			s.String(), s.RateLimited.Load(), b.String(), b.RateLimited.Load())
+	}
+	for _, id := range scalar.BlockIDs() {
+		if sc, bc := scalar.ProbesToBlock(id), batch.ProbesToBlock(id); sc != bc {
+			t.Fatalf("block %v probe count: scalar %d batch %d", id, sc, bc)
+		}
+	}
+	if sc, bc := scalar.ProbesToBlock(MakeBlockID(99, 9, 9)), batch.ProbesToBlock(MakeBlockID(99, 9, 9)); sc != bc {
+		t.Fatalf("unrouted probe count: scalar %d batch %d", sc, bc)
+	}
+}
+
+// deliverRounds drives rounds of the schedule through both paths, the
+// batch side split into chunks of size chunk (0 = whole round in one
+// call), and fails on the first divergent response.
+func deliverRounds(t *testing.T, chunk, rounds int, withTap bool) {
+	t.Helper()
+	scalarNet, batchNet := buildBatchWorld(), buildBatchWorld()
+	if withTap {
+		scalarNet.SetTap(newOrderTap())
+		batchNet.SetTap(newOrderTap())
+	}
+	var rb ReplyBuffer
+	var bb BatchBuffer
+	for r := 0; r < rounds; r++ {
+		// 40s steps cross rate-limit minute windows mid-sequence; rounds 16+
+		// land inside the outage window of block 10.0.3 (11:00–13:00).
+		now := at(10, 50).Add(time.Duration(r) * 40 * time.Second)
+		pkts := batchSchedule(t, r)
+		want := scalarDeliverAll(scalarNet, &rb, pkts, now)
+		var got []Response
+		for start := 0; start < len(pkts); {
+			end := len(pkts)
+			if chunk > 0 && start+chunk < end {
+				end = start + chunk
+			}
+			for _, resp := range batchNet.DeliverBatch(&bb, pkts[start:end], now) {
+				got = append(got, ownedResp(resp))
+			}
+			start = end
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d responses, want %d", r, len(got), len(want))
+		}
+		for i := range want {
+			if !respEqual(got[i], want[i]) {
+				t.Fatalf("round %d pkt %d diverged:\n scalar %+v\n batch  %+v", r, i, want[i], got[i])
+			}
+		}
+	}
+	checkNetsEqual(t, scalarNet, batchNet)
+}
+
+func TestDeliverBatchEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		chunk int
+		tap   bool
+	}{
+		{"size1", 1, false},
+		{"size7", 7, false},
+		{"size64", 64, false},
+		{"fullround", 0, false},
+		{"size1_tap", 1, true},
+		{"size7_tap", 7, true},
+		{"size64_tap", 64, true},
+		{"fullround_tap", 0, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) { deliverRounds(t, tc.chunk, 24, tc.tap) })
+	}
+}
+
+// TestDeliverBatchRandomSplits is the quick property: any partition of a
+// round into consecutive DeliverBatch calls yields the scalar byte
+// sequence.
+func TestDeliverBatchRandomSplits(t *testing.T) {
+	prop := func(seed uint64) bool {
+		scalarNet, batchNet := buildBatchWorld(), buildBatchWorld()
+		scalarNet.SetTap(newOrderTap())
+		batchNet.SetTap(newOrderTap())
+		var rb ReplyBuffer
+		var bb BatchBuffer
+		state := seed
+		next := func(n int) int { // tiny deterministic LCG over the quick seed
+			state = state*6364136223846793005 + 1442695040888963407
+			return int(state>>33) % n
+		}
+		for r := 0; r < 6; r++ {
+			now := at(10, 50).Add(time.Duration(r) * 40 * time.Second)
+			pkts := batchSchedule(t, r)
+			want := scalarDeliverAll(scalarNet, &rb, pkts, now)
+			var got []Response
+			for start := 0; start < len(pkts); {
+				end := start + 1 + next(len(pkts)-start)
+				for _, resp := range batchNet.DeliverBatch(&bb, pkts[start:end], now) {
+					got = append(got, ownedResp(resp))
+				}
+				start = end
+			}
+			for i := range want {
+				if !respEqual(got[i], want[i]) {
+					t.Logf("seed %d round %d pkt %d diverged", seed, r, i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeliverBatchTopologyMutation checks the route cache revalidates when
+// the topology generation moves: blocks added between batches must be
+// visible, and stale cached routes must never be used.
+func TestDeliverBatchTopologyMutation(t *testing.T) {
+	scalarNet, batchNet := buildBatchWorld(), buildBatchWorld()
+	var rb ReplyBuffer
+	var bb BatchBuffer
+	lateID := MakeBlockID(20, 0, 1)
+	mkLate := func() *Block {
+		late := &Block{ID: lateID, Seed: 33, LatencyBase: 5 * time.Millisecond}
+		for h := 0; h < 16; h++ {
+			late.Behaviors[h] = AlwaysOn{}
+		}
+		return late
+	}
+	probeLate := func(r int) [][]byte {
+		return [][]byte{
+			mkBatchPkt(t, lateID.Addr(3), 7, uint16(r), 64, nil),
+			mkBatchPkt(t, MakeBlockID(10, 0, 1).Addr(4), 7, uint16(r+1000), 64, nil),
+		}
+	}
+	now := at(12, 0)
+	// Round 1: lateID is unrouted — cached as nil route.
+	want := scalarDeliverAll(scalarNet, &rb, probeLate(1), now)
+	got := batchNet.DeliverBatch(&bb, probeLate(1), now)
+	for i := range want {
+		if !respEqual(got[i], want[i]) {
+			t.Fatalf("pre-mutation pkt %d diverged", i)
+		}
+	}
+	if !want[0].Timeout {
+		t.Fatal("unrouted block should time out")
+	}
+	// Mutate: the block appears.
+	scalarNet.AddBlock(mkLate())
+	batchNet.AddBlock(mkLate())
+	now = now.Add(time.Minute)
+	want = scalarDeliverAll(scalarNet, &rb, probeLate(2), now)
+	got = batchNet.DeliverBatch(&bb, probeLate(2), now)
+	for i := range want {
+		if !respEqual(got[i], want[i]) {
+			t.Fatalf("post-mutation pkt %d diverged", i)
+		}
+	}
+	if want[0].Timeout {
+		t.Fatal("late block should reply after AddBlock")
+	}
+	checkNetsEqual(t, scalarNet, batchNet)
+}
+
+// TestDeliverBatchBufferLifetime pins the arena contract: all responses of
+// one batch stay valid together, and the next batch overwrites them.
+func TestDeliverBatchBufferLifetime(t *testing.T) {
+	n := buildBatchWorld()
+	var bb BatchBuffer
+	pkts := [][]byte{
+		mkBatchPkt(t, MakeBlockID(10, 0, 1).Addr(1), 7, 1, 64, []byte("aaaa")),
+		mkBatchPkt(t, MakeBlockID(10, 0, 1).Addr(2), 7, 2, 64, []byte("bbbb")),
+		mkBatchPkt(t, MakeBlockID(10, 0, 1).Addr(3), 7, 3, 64, []byte("cccc")),
+	}
+	resps := n.DeliverBatch(&bb, pkts, at(12, 0))
+	copies := make([][]byte, len(resps))
+	for i, r := range resps {
+		if r.Timeout {
+			t.Fatalf("pkt %d timed out", i)
+		}
+		copies[i] = append([]byte(nil), r.Data...)
+	}
+	// All views must still match their copies after the whole batch is read.
+	for i, r := range resps {
+		if !bytes.Equal(r.Data, copies[i]) {
+			t.Fatalf("response %d mutated within its batch lifetime", i)
+		}
+	}
+	if bb.RetainedBytes() <= 0 {
+		t.Fatal("warm BatchBuffer should report retained bytes")
+	}
+}
+
+// TestDeliverBatchAllocFree pins the warm-batch budget: after warmup, a
+// DeliverBatch round of well-formed probes allocates nothing. (Malformed
+// packets are excluded deliberately: parser error construction allocates
+// on the scalar path too and is the lint budget's exempt cold path — a
+// real prober's warm round sends only packets it marshalled itself.)
+func TestDeliverBatchAllocFree(t *testing.T) {
+	n := buildBatchWorld()
+	var bb BatchBuffer
+	var pkts [][]byte
+	for i := 0; i < 40; i++ {
+		for _, id := range []BlockID{MakeBlockID(10, 0, 1), MakeBlockID(10, 0, 4), MakeBlockID(10, 0, 5), MakeBlockID(99, 9, 9)} {
+			pkts = append(pkts, mkBatchPkt(t, id.Addr(byte(i%120)), 7, uint16(i), 64, []byte("probe-payload")))
+		}
+	}
+	now := at(12, 0)
+	for i := 0; i < 3; i++ {
+		n.DeliverBatch(&bb, pkts, now)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		n.DeliverBatch(&bb, pkts, now)
+	})
+	if avg != 0 {
+		t.Fatalf("warm DeliverBatch allocates %.1f allocs/op, want 0", avg)
+	}
+}

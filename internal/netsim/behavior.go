@@ -67,6 +67,24 @@ func (b Intermittent) Up(t time.Time) bool {
 
 func (b Intermittent) EverActive() bool { return b.P > 0 }
 
+// upMemo is Up with the per-quantum draw routed through m. The draw is a
+// pure function of (Seed, quantum), so the answer is bit-identical to Up —
+// the memo only skips redrawing the same uniform for every probe of the
+// same host-quantum.
+func (b Intermittent) upMemo(t time.Time, m *hostMemo) bool {
+	if b.P <= 0 {
+		return false
+	}
+	if b.P >= 1 {
+		return true
+	}
+	q := uint64(secondsSinceEpoch(t) / b.quantum())
+	if !m.qSet || m.q != q {
+		m.q, m.qVal, m.qSet = q, prfFloat2(b.Seed, q, 0x1a7e), true
+	}
+	return m.qVal < b.P
+}
+
 // Diurnal answers during one contiguous on-period per day and is silent
 // otherwise — the §3.2.2 controlled model. The on-period of day d starts at
 // Phase + N(0, StartSigma) after local midnight (all times UTC in the
@@ -107,6 +125,14 @@ func (b Diurnal) Up(t time.Time) bool {
 
 // inPeriod reports whether sec falls within day d's on-period.
 func (b Diurnal) inPeriod(sec float64, d int64) bool {
+	start, dur := b.bounds(d)
+	return sec >= start && sec < start+dur
+}
+
+// bounds returns day d's realized on-period (start, dur) after the per-day
+// noise draws — a pure function of (Seed, d), which is what makes the
+// per-host day memo below exact rather than approximate.
+func (b Diurnal) bounds(d int64) (float64, float64) {
 	start := float64(d)*86400 + b.Phase.Seconds()
 	if b.StartSigma > 0 {
 		start += prfNorm(b.Seed, uint64(d), 0x57a7) * b.StartSigma.Seconds()
@@ -118,7 +144,65 @@ func (b Diurnal) inPeriod(sec float64, d int64) bool {
 			dur = 0
 		}
 	}
-	return sec >= start && sec < start+dur
+	return start, dur
+}
+
+// dayBounds caches one realized on-period so a day's two Box-Muller draws
+// happen once per (host, day) instead of once per probe.
+type dayBounds struct {
+	day   int64
+	start float64
+	dur   float64
+	set   bool
+}
+
+// hostMemo caches one host's per-quantum and per-day draws. days holds the
+// two day slots a diurnal probe can touch (today and the spillover tail of
+// yesterday), indexed day&1 so consecutive days never evict each other
+// mid-round; q/qVal cache the newest per-quantum uniform draw (Diurnal's
+// UpProb draw or Intermittent's availability draw — a host has exactly one
+// behavior, so the slot is never shared).
+type hostMemo struct {
+	days [2]dayBounds
+	q    uint64
+	qVal float64
+	qSet bool
+}
+
+// upMemo is Up with the per-day and per-quantum draws routed through m.
+// The cached values are pure functions of (Seed, day) and (Seed, quantum),
+// so the answer is bit-identical to Up — the memo only skips recomputing
+// the same deviates for every probe of the same host-day or host-quantum.
+func (b Diurnal) upMemo(t time.Time, m *hostMemo) bool {
+	if b.Duration <= 0 {
+		return false
+	}
+	sec := secondsSinceEpoch(t)
+	day := int64(sec) / 86400
+	if sec < 0 {
+		day--
+	}
+	if b.inPeriodMemo(sec, day, &m.days[day&1]) || b.inPeriodMemo(sec, day-1, &m.days[(day-1)&1]) {
+		if b.UpProb <= 0 || b.UpProb >= 1 {
+			return true
+		}
+		q := uint64(sec / 660)
+		if !m.qSet || m.q != q {
+			m.q, m.qVal, m.qSet = q, prfFloat2(b.Seed, q, 0xd1a2), true
+		}
+		return m.qVal < b.UpProb
+	}
+	return false
+}
+
+// inPeriodMemo is inPeriod with day d's bounds cached in s.
+func (b Diurnal) inPeriodMemo(sec float64, d int64, s *dayBounds) bool {
+	if !s.set || s.day != d {
+		s.day = d
+		s.start, s.dur = b.bounds(d)
+		s.set = true
+	}
+	return sec >= s.start && sec < s.start+s.dur
 }
 
 // Periodic answers during a fraction of every period P — used to model

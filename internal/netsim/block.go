@@ -87,6 +87,31 @@ type Block struct {
 	Seed uint64
 
 	rl rateLimitState
+	// dmemo caches per-host day bounds and quantum draws (allocated at
+	// AddBlock when any host is Diurnal or Intermittent). Like rl, it
+	// mutates on the delivery path and relies on the existing invariant
+	// that one block is probed by at most one goroutine at a time.
+	dmemo *[256]hostMemo
+	// hops caches the effective path length (set by AddBlock), so the
+	// per-packet TTL check does not rederive it. Zero means "not yet
+	// registered": PathHops falls back to the live computation.
+	hops int
+}
+
+// hostUp evaluates host's behavior at now, routing Diurnal and
+// Intermittent draws through the block's per-host memo when present —
+// bit-identical to bh.Up(now), minus the repeated per-day normal deviates
+// and per-quantum uniforms.
+func (b *Block) hostUp(host byte, bh Behavior, now time.Time) bool {
+	if b.dmemo != nil {
+		switch d := bh.(type) {
+		case Diurnal:
+			return d.upMemo(now, &b.dmemo[host])
+		case Intermittent:
+			return d.upMemo(now, &b.dmemo[host])
+		}
+	}
+	return bh.Up(now)
 }
 
 // rateLimitState tracks the per-minute reply budget.
@@ -117,6 +142,9 @@ func (b *Block) allowReply(t time.Time) bool {
 
 // PathHops returns the effective hop count.
 func (b *Block) PathHops() int {
+	if b.hops != 0 {
+		return b.hops
+	}
 	if b.Hops > 0 {
 		return b.Hops
 	}

@@ -1,0 +1,47 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHostMemoMatchesUp pins the per-host memo paths to the plain Behavior
+// evaluations: for diurnal hosts (with day noise and UpProb) and
+// intermittent hosts, upMemo must agree with Up at every instant, including
+// out-of-order revisits that force cache churn, times before the epoch, and
+// midnight spillover.
+func TestHostMemoMatchesUp(t *testing.T) {
+	diur := Diurnal{
+		Phase:         9 * time.Hour,
+		Duration:      10 * time.Hour,
+		StartSigma:    45 * time.Minute,
+		DurationSigma: 90 * time.Minute,
+		UpProb:        0.8,
+		Seed:          0xfeed,
+	}
+	inter := Intermittent{P: 0.6, Seed: 0xbead}
+	interQ := Intermittent{P: 0.35, Quantum: 17 * time.Minute, Seed: 0x77}
+
+	var times []time.Time
+	base := simEpoch.Add(-36 * time.Hour)
+	for i := 0; i < 600; i++ {
+		// An irregular stride that crosses quantum and day boundaries.
+		times = append(times, base.Add(time.Duration(i)*19*time.Minute))
+	}
+	// Revisit earlier instants after later ones: the memo slots must
+	// recompute, not serve stale entries.
+	times = append(times, times[3], times[250], times[10], times[599], times[0])
+
+	var md, mi, mq hostMemo
+	for _, tt := range times {
+		if got, want := diur.upMemo(tt, &md), diur.Up(tt); got != want {
+			t.Fatalf("Diurnal.upMemo(%v) = %v, Up = %v", tt, got, want)
+		}
+		if got, want := inter.upMemo(tt, &mi), inter.Up(tt); got != want {
+			t.Fatalf("Intermittent.upMemo(%v) = %v, Up = %v", tt, got, want)
+		}
+		if got, want := interQ.upMemo(tt, &mq), interQ.Up(tt); got != want {
+			t.Fatalf("Intermittent{Quantum}.upMemo(%v) = %v, Up = %v", tt, got, want)
+		}
+	}
+}

@@ -49,6 +49,22 @@ const (
 	TapAdminProhibited
 )
 
+// TapBatch is an optional Tap extension for batched delivery: a tap that
+// can assign outbound fates to a whole batch of probes with one lock
+// acquisition. OutboundBatch must fill times[i] and verdicts[i] with
+// exactly what a sequential Outbound(dsts[i], now) call would return, in
+// slice order. DeliverBatch consults it once per batch, which means every
+// outbound decision of the batch is made before any inbound processing; a
+// tap whose Inbound behavior depends on interleaving with its own Outbound
+// calls must not implement TapBatch. internal/faults.Injector implements
+// it: all of its decisions are PRF-pure per (destination, timestamp)
+// except the per-block rate-limit counter, which sees the same per-block
+// probe order either way.
+type TapBatch interface {
+	Tap
+	OutboundBatch(dsts []Addr, now time.Time, times []time.Time, verdicts []TapVerdict)
+}
+
 // Tap perturbs the delivery path — the hook the fault-injection layer
 // (internal/faults) attaches to. A nil tap, like a zero-value injector, is
 // a no-op. Implementations must be safe for concurrent use; SetTap must not
@@ -131,14 +147,87 @@ type Network struct {
 	blocks map[BlockID]*Block
 	seed   uint64
 	tap    Tap
+	// gen is the topology generation, bumped by AddBlock and SetTap; batch
+	// route caches (BatchBuffer) validate against it so a cached *Block or
+	// tap never outlives the mutation that replaced it.
+	gen atomic.Uint64
 
 	// Stats counts global probe outcomes.
 	Stats Counters
 	// perBlockProbes counts probes per block for radiation-budget checks.
 	// A plain map under mu (counters pre-registered by AddBlock) rather
 	// than a sync.Map: the uint32 key would be boxed on every sync.Map
-	// lookup, putting one allocation on every probe.
+	// lookup, putting one allocation on every probe. Counter pointers are
+	// stable for the lifetime of the network (registration never replaces
+	// an existing counter), which is what lets batch route caches hold
+	// them across generations.
 	perBlockProbes map[BlockID]*atomic.Int64
+}
+
+// statsAcc accumulates Counters deltas locally so one delivery (or one
+// whole batch) flushes them with at most one atomic add per counter
+// instead of one per event. Flush order differs from the historical
+// per-event adds, but the counters are monotonic totals read after
+// quiescence, so only the totals are observable.
+type statsAcc struct {
+	probes, replies, timeouts, lost, malformed, rateLimited int64
+}
+
+// flush applies the accumulated deltas and resets the accumulator.
+func (a *statsAcc) flush(c *Counters) {
+	if a.probes != 0 {
+		c.Probes.Add(a.probes)
+	}
+	if a.replies != 0 {
+		c.Replies.Add(a.replies)
+	}
+	if a.timeouts != 0 {
+		c.Timeouts.Add(a.timeouts)
+	}
+	if a.lost != 0 {
+		c.Lost.Add(a.lost)
+	}
+	if a.malformed != 0 {
+		c.Malformed.Add(a.malformed)
+	}
+	if a.rateLimited != 0 {
+		c.RateLimited.Add(a.rateLimited)
+	}
+	*a = statsAcc{}
+}
+
+// tapPre carries a pre-computed outbound tap decision into the delivery
+// core, so a batch can consult a TapBatch once for many probes. The zero
+// value (ok == false) means "ask the tap inline" — the scalar path.
+type tapPre struct {
+	t  time.Time
+	v  TapVerdict
+	ok bool
+}
+
+// outageCache memoizes Block.InOutage per (block, instant): every probe of
+// a block within one batched round shares the same delivery timestamp, so
+// the outage schedule is walked once per (block, round) instead of once or
+// twice per probe. Keying on the exact instant makes the cache self-
+// invalidating across rounds and immune to per-destination clock skew from
+// a tap. A nil cache disables memoization (the scalar path).
+type outageCache struct {
+	at  int64
+	in  bool
+	set bool
+}
+
+func (c *outageCache) inOutage(blk *Block, now time.Time) bool {
+	if c == nil {
+		return blk.InOutage(now)
+	}
+	ns := now.UnixNano()
+	if !c.set || c.at != ns {
+		c.at = ns
+		c.in = blk.InOutage(now)
+		c.set = true
+	}
+	return c.in
 }
 
 // NewNetwork creates an empty simulated network with the given seed.
@@ -156,16 +245,30 @@ func (n *Network) SetTap(t Tap) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.tap = t
+	n.gen.Add(1)
 }
 
 // AddBlock registers a block. Re-adding a BlockID replaces it.
 func (n *Network) AddBlock(b *Block) {
+	b.hops = b.PathHops()
+	if b.dmemo == nil {
+		for _, bh := range b.Behaviors {
+			switch bh.(type) {
+			case Diurnal, Intermittent:
+				b.dmemo = new([256]hostMemo)
+			}
+			if b.dmemo != nil {
+				break
+			}
+		}
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.blocks[b.ID] = b
 	if n.perBlockProbes[b.ID] == nil {
 		n.perBlockProbes[b.ID] = new(atomic.Int64)
 	}
+	n.gen.Add(1)
 }
 
 // Block returns the block with the given id, or nil.
@@ -211,126 +314,170 @@ func (n *Network) ProbeInto(buf *ReplyBuffer, dst Addr, pkt []byte, now time.Tim
 }
 
 func (n *Network) probe(buf *ReplyBuffer, dst Addr, pkt []byte, now time.Time) Response {
-	n.Stats.Probes.Add(1)
+	var acc statsAcc
+	acc.probes++
 	n.countBlockProbe(dst.Block)
 
 	var echo icmp.Echo
-	if err := icmp.ParseEchoInto(&echo, pkt); err != nil || echo.Reply {
-		n.Stats.Malformed.Add(1)
-		return Response{Timeout: true}
-	}
+	echoOK := icmp.ParseEchoInto(&echo, pkt) == nil && !echo.Reply
 
 	n.mu.RLock()
 	blk := n.blocks[dst.Block]
 	tap := n.tap
 	n.mu.RUnlock()
 
+	var resp Response
+	sc := n.probeCore(blk, tap, buf.icmpScratch(), dst, pkt, &echo, echoOK, now, tapPre{}, nil, &acc, &resp)
+	if buf != nil {
+		buf.icmp = sc
+	}
+	acc.flush(&n.Stats)
+	return resp
+}
+
+// probeCore is the ICMP-layer delivery path with routing already resolved:
+// consult the tap, evaluate the block's behavior at now, and build the
+// reply. echo is the caller-parsed request (echoOK false marks a malformed
+// or non-request message). scratch is the empty ICMP-layer scratch to
+// append the reply into (nil allocates fresh); the possibly-grown backing
+// is returned so the owner keeps its capacity. Counter deltas accumulate in
+// acc — the caller flushes. pre, when set, replaces the inline tap.Outbound
+// consultation (batched taps); oc, when non-nil, memoizes the block's
+// outage lookups.
+//
+// Both the scalar probe path and DeliverBatch run through this one body:
+// the batch path's byte-identical contract is equivalence by construction,
+// not by parallel maintenance of two delivery implementations. The outcome
+// lands in *resp (an out-parameter so per-probe results are written once
+// instead of copied up the call chain); the ICMP scratch backing is the
+// return value.
+func (n *Network) probeCore(blk *Block, tap Tap, scratch []byte, dst Addr, pkt []byte, echo *icmp.Echo, echoOK bool, now time.Time, pre tapPre, oc *outageCache, acc *statsAcc, resp *Response) []byte {
+	*resp = Response{}
+	if !echoOK {
+		acc.malformed++
+		resp.Timeout = true
+		return scratch
+	}
+
 	if tap != nil {
 		var v TapVerdict
-		now, v = tap.Outbound(dst, now)
+		if pre.ok {
+			now, v = pre.t, pre.v
+		} else {
+			now, v = tap.Outbound(dst, now)
+		}
 		switch v {
 		case TapDrop:
-			n.Stats.Lost.Add(1)
-			n.Stats.Timeouts.Add(1)
-			return Response{Timeout: true}
+			acc.lost++
+			acc.timeouts++
+			resp.Timeout = true
+			return scratch
 		case TapSendError:
-			return Response{Timeout: true, SendFailed: true}
+			resp.Timeout, resp.SendFailed = true, true
+			return scratch
 		case TapAdminProhibited:
-			n.Stats.RateLimited.Add(1)
-			un, uerr := (&icmp.Unreachable{Code: icmp.CodeAdminProhibited, Original: pkt}).MarshalAppend(buf.icmpScratch())
+			acc.rateLimited++
+			unreach := icmp.Unreachable{Code: icmp.CodeAdminProhibited, Original: pkt}
+			un, uerr := unreach.MarshalAppend(scratch)
 			if uerr != nil {
-				n.Stats.Timeouts.Add(1)
-				return Response{Timeout: true}
-			}
-			if buf != nil {
-				buf.icmp = un
+				acc.timeouts++
+				resp.Timeout = true
+				return scratch
 			}
 			rtt := 20 * time.Millisecond
 			if blk != nil {
 				rtt = blk.LatencyBase
 			}
-			return n.inbound(tap, dst, Response{Data: un, RTT: rtt}, now)
+			resp.Data, resp.RTT = un, rtt
+			n.inbound(tap, dst, resp, now, acc)
+			return un
 		}
 	}
 
 	if blk == nil {
 		// Unrouted space: silence.
-		n.Stats.Timeouts.Add(1)
-		return Response{Timeout: true}
+		acc.timeouts++
+		resp.Timeout = true
+		return scratch
 	}
 
 	// Path loss, one Bernoulli draw per round trip, keyed so retransmissions
 	// (new seq) redraw but duplicates (same seq) are consistent.
 	if blk.Loss > 0 {
-		k := prfFloat(n.seed^blk.Seed, dst.key(), uint64(echo.ID)<<16|uint64(echo.Seq), uint64(now.UnixNano()))
+		k := prfFloat3(n.seed^blk.Seed, dst.key(), uint64(echo.ID)<<16|uint64(echo.Seq), uint64(now.UnixNano()))
 		if k < blk.Loss {
-			n.Stats.Lost.Add(1)
-			n.Stats.Timeouts.Add(1)
-			return Response{Timeout: true}
+			acc.lost++
+			acc.timeouts++
+			resp.Timeout = true
+			return scratch
 		}
 	}
 
-	if !blk.RespondsAt(dst.Host, now) {
+	// RespondsAt, with the outage lookup routed through the per-round memo.
+	bh := blk.Behaviors[dst.Host]
+	if bh == nil || oc.inOutage(blk, now) || !blk.hostUp(dst.Host, bh, now) {
 		// During an outage an upstream gateway may answer on the block's
 		// behalf with destination-unreachable.
-		if blk.GatewayUnreachableProb > 0 && blk.InOutage(now) {
-			u := prfFloat(n.seed^blk.Seed^0x6a7e, dst.key(), uint64(echo.Seq), uint64(now.UnixNano()))
+		if blk.GatewayUnreachableProb > 0 && oc.inOutage(blk, now) {
+			u := prfFloat3(n.seed^blk.Seed^0x6a7e, dst.key(), uint64(echo.Seq), uint64(now.UnixNano()))
 			if u < blk.GatewayUnreachableProb {
-				un, err := (&icmp.Unreachable{Code: icmp.CodeHostUnreachable, Original: pkt}).MarshalAppend(buf.icmpScratch())
+				unreach := icmp.Unreachable{Code: icmp.CodeHostUnreachable, Original: pkt}
+				un, err := unreach.MarshalAppend(scratch)
 				if err == nil {
-					if buf != nil {
-						buf.icmp = un
-					}
-					n.Stats.Replies.Add(1)
-					return n.inbound(tap, dst, Response{Data: un, RTT: blk.LatencyBase}, now)
+					acc.replies++
+					resp.Data, resp.RTT = un, blk.LatencyBase
+					n.inbound(tap, dst, resp, now, acc)
+					return un
 				}
 			}
 		}
-		n.Stats.Timeouts.Add(1)
-		return Response{Timeout: true}
+		acc.timeouts++
+		resp.Timeout = true
+		return scratch
 	}
 
 	if !blk.allowReply(now) {
-		n.Stats.RateLimited.Add(1)
-		n.Stats.Timeouts.Add(1)
-		return Response{Timeout: true}
+		acc.rateLimited++
+		acc.timeouts++
+		resp.Timeout = true
+		return scratch
 	}
 
 	// Build the echo reply straight from the parsed request: same ID, Seq,
 	// and payload (echo.Payload aliases pkt; MarshalAppend copies it into
 	// the reply, so the alias never outlives this call).
 	echoReply := icmp.Echo{Reply: true, ID: echo.ID, Seq: echo.Seq, Payload: echo.Payload}
-	reply, err := echoReply.MarshalAppend(buf.icmpScratch())
+	reply, err := echoReply.MarshalAppend(scratch)
 	if err != nil {
 		// Cannot happen for a parsed request, but fail closed.
-		n.Stats.Malformed.Add(1)
-		return Response{Timeout: true}
-	}
-	if buf != nil {
-		buf.icmp = reply
+		acc.malformed++
+		resp.Timeout = true
+		return scratch
 	}
 	rtt := blk.LatencyBase
 	if blk.LatencyJitter > 0 {
-		j := prfFloat(n.seed^blk.Seed^0x9badcafe, dst.key(), uint64(echo.Seq), uint64(now.UnixNano()))
+		j := prfFloat3(n.seed^blk.Seed^0x9badcafe, dst.key(), uint64(echo.Seq), uint64(now.UnixNano()))
 		rtt += time.Duration(j * float64(blk.LatencyJitter))
 	}
-	n.Stats.Replies.Add(1)
-	return n.inbound(tap, dst, Response{Data: reply, RTT: rtt}, now)
+	acc.replies++
+	resp.Data, resp.RTT = reply, rtt
+	n.inbound(tap, dst, resp, now, acc)
+	return reply
 }
 
 // inbound runs a delivered reply back through the tap, which may corrupt
-// or drop it.
-func (n *Network) inbound(tap Tap, dst Addr, resp Response, now time.Time) Response {
+// or drop it, mutating resp in place.
+func (n *Network) inbound(tap Tap, dst Addr, resp *Response, now time.Time, acc *statsAcc) {
 	if tap == nil || resp.Data == nil {
-		return resp
+		return
 	}
 	data := tap.Inbound(dst, resp.Data, now)
 	if data == nil {
-		n.Stats.Timeouts.Add(1)
-		return Response{Timeout: true}
+		acc.timeouts++
+		*resp = Response{Timeout: true}
+		return
 	}
 	resp.Data = data
-	return resp
 }
 
 // DeliverIP routes a full IPv4 packet into the simulated edge: the header
@@ -360,25 +507,53 @@ func (n *Network) deliverIP(buf *ReplyBuffer, pkt []byte, now time.Time) Respons
 		return Response{Timeout: true}
 	}
 	dst := AddrFromIP(hdr.Dst)
+
+	var echo icmp.Echo
+	echoOK := icmp.ParseEchoInto(&echo, payload) == nil && !echo.Reply
+
+	var acc statsAcc
 	n.mu.RLock()
 	blk := n.blocks[dst.Block]
+	tap := n.tap
+	cnt := n.perBlockProbes[dst.Block]
 	n.mu.RUnlock()
-	if blk != nil {
-		// The packet must survive the path.
-		if !ipv4.TTLSurvives(pkt, blk.PathHops()) {
-			n.Stats.Probes.Add(1)
-			n.countBlockProbe(dst.Block)
-			n.Stats.Timeouts.Add(1)
-			return Response{Timeout: true}
-		}
+	if cnt == nil {
+		cnt = n.registerBlockCounter(dst.Block)
 	}
-	resp := n.probe(buf, dst, payload, now)
-	if resp.Timeout || resp.Data == nil {
-		return resp
+
+	var resp Response
+	icmpOut, ipOut := n.deliverCore(blk, tap, buf.icmpScratch(), buf.ipScratch(), &hdr, dst, payload, &echo, echoOK, now, tapPre{}, nil, &acc, &resp)
+	if buf != nil {
+		buf.icmp = icmpOut
+		buf.ip = ipOut
 	}
+	cnt.Add(1)
+	acc.flush(&n.Stats)
+	return resp
+}
+
+// deliverCore is the IP-layer delivery path with routing resolved and the
+// payload echo pre-parsed: charge the path's hop count against the TTL,
+// run the ICMP core, and wrap any reply back into an IPv4 datagram with
+// source and destination swapped. The outcome lands in *resp (see
+// probeCore); it returns the possibly-grown ICMP and IP scratch backings
+// so the owner keeps their capacity. Shared verbatim by the scalar
+// DeliverIP path and DeliverBatch.
+func (n *Network) deliverCore(blk *Block, tap Tap, icmpScratch, ipScratch []byte, hdr *ipv4.Header, dst Addr, payload []byte, echo *icmp.Echo, echoOK bool, now time.Time, pre tapPre, oc *outageCache, acc *statsAcc, resp *Response) ([]byte, []byte) {
+	acc.probes++
 	hops := 0
 	if blk != nil {
 		hops = blk.PathHops()
+		// The packet must survive the path.
+		if hops > 0 && int(hdr.TTL) <= hops {
+			acc.timeouts++
+			*resp = Response{Timeout: true}
+			return icmpScratch, ipScratch
+		}
+	}
+	icmpOut := n.probeCore(blk, tap, icmpScratch, dst, payload, echo, echoOK, now, pre, oc, acc, resp)
+	if resp.Timeout || resp.Data == nil {
+		return icmpOut, ipScratch
 	}
 	replyHdr := ipv4.Header{
 		ID:       hdr.ID,
@@ -387,18 +562,33 @@ func (n *Network) deliverIP(buf *ReplyBuffer, pkt []byte, now time.Time) Respons
 		Src:      hdr.Dst,
 		Dst:      hdr.Src,
 	}
-	// resp.Data lives in buf.icmp (or a tap-corrupted copy); the wrap
-	// appends into the distinct buf.ip, so no self-overlapping copy.
-	wrapped, err := replyHdr.MarshalAppend(buf.ipScratch(), resp.Data)
+	// resp.Data lives in the ICMP scratch (or a tap-corrupted copy); the
+	// wrap appends into the distinct IP scratch, so no self-overlapping copy.
+	wrapped, err := replyHdr.MarshalAppend(ipScratch, resp.Data)
 	if err != nil {
-		n.Stats.Malformed.Add(1)
-		return Response{Timeout: true}
-	}
-	if buf != nil {
-		buf.ip = wrapped
+		acc.malformed++
+		*resp = Response{Timeout: true}
+		return icmpOut, ipScratch
 	}
 	resp.Data = wrapped
-	return resp
+	return icmpOut, wrapped
+}
+
+// registerBlockCounter registers (or returns the existing) per-block probe
+// counter for id under the write lock. Counter pointers are stable: once
+// registered a counter is never replaced, so cached pointers stay valid
+// for the network's lifetime. Off the steady-state path — AddBlock
+// pre-registers; only probes into unrouted space land here.
+func (n *Network) registerBlockCounter(id BlockID) *atomic.Int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c := n.perBlockProbes[id]
+	if c == nil {
+		//lint:allow hotalloc: one-time lazy registration for unrouted blocks, not reached on warm rounds
+		c = new(atomic.Int64)
+		n.perBlockProbes[id] = c
+	}
+	return c
 }
 
 func (n *Network) countBlockProbe(id BlockID) {
@@ -406,14 +596,7 @@ func (n *Network) countBlockProbe(id BlockID) {
 	c := n.perBlockProbes[id]
 	n.mu.RUnlock()
 	if c == nil {
-		// Probe to a block never registered (unrouted space): register a
-		// counter lazily. Off the steady-state path — AddBlock pre-registers.
-		n.mu.Lock()
-		if c = n.perBlockProbes[id]; c == nil {
-			c = new(atomic.Int64)
-			n.perBlockProbes[id] = c
-		}
-		n.mu.Unlock()
+		c = n.registerBlockCounter(id)
 	}
 	c.Add(1)
 }

@@ -19,6 +19,12 @@ func prfFloat(seed uint64, parts ...uint64) float64 {
 	return prf.Float(seed, parts...)
 }
 
+// prfFloat2 and prfFloat3 are the fixed-arity forms for per-probe draws;
+// bit-identical to prfFloat with the same parts.
+func prfFloat2(seed, a, b uint64) float64 { return prf.Float2(seed, a, b) }
+
+func prfFloat3(seed, a, b, c uint64) float64 { return prf.Float3(seed, a, b, c) }
+
 // prfNorm returns a standard normal deviate.
 func prfNorm(seed uint64, parts ...uint64) float64 {
 	return prf.Norm(seed, parts...)

@@ -31,6 +31,18 @@ func Float(seed uint64, parts ...uint64) float64 {
 	return float64(Hash(seed, parts...)>>11) / (1 << 53)
 }
 
+// Float2 is Float(seed, a, b) with the Mix chain unrolled: bit-identical
+// output without the variadic slice setup and loop, for per-probe draws on
+// the delivery hot path. TestFixedArityMatchesVariadic pins the equality.
+func Float2(seed, a, b uint64) float64 {
+	return float64(Mix(Mix(Mix(seed)^a)^b)>>11) / (1 << 53)
+}
+
+// Float3 is Float(seed, a, b, c) unrolled; see Float2.
+func Float3(seed, a, b, c uint64) float64 {
+	return float64(Mix(Mix(Mix(Mix(seed)^a)^b)^c)>>11) / (1 << 53)
+}
+
 // mixRaw is the SplitMix64 finalizer without the golden-ratio increment.
 // It exists only to support the legacy chain below; new code uses Mix.
 func mixRaw(x uint64) uint64 {

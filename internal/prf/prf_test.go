@@ -55,3 +55,24 @@ func TestChainingDiffers(t *testing.T) {
 		t.Fatal("Float and LegacyFloat agree; legacy chain lost")
 	}
 }
+
+// TestFixedArityMatchesVariadic pins the unrolled hot-path forms to the
+// canonical variadic chain bit for bit, including edge inputs that stress
+// the xor-fold (all-zero, all-ones, high bits set).
+func TestFixedArityMatchesVariadic(t *testing.T) {
+	cases := []uint64{0, 1, 0xffffffffffffffff, 0x9e3779b97f4a7c15, 1 << 63, 0xdeadbeef}
+	for _, seed := range cases {
+		for _, a := range cases {
+			for _, b := range cases {
+				if got, want := Float2(seed, a, b), Float(seed, a, b); got != want {
+					t.Fatalf("Float2(%#x,%#x,%#x) = %v, want %v", seed, a, b, got, want)
+				}
+				for _, c := range cases {
+					if got, want := Float3(seed, a, b, c), Float(seed, a, b, c); got != want {
+						t.Fatalf("Float3(%#x,%#x,%#x,%#x) = %v, want %v", seed, a, b, c, got, want)
+					}
+				}
+			}
+		}
+	}
+}

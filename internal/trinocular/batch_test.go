@@ -1,0 +1,515 @@
+package trinocular
+
+import (
+	"testing"
+	"time"
+
+	"sleepnet/internal/faults"
+	"sleepnet/internal/metrics"
+	"sleepnet/internal/netsim"
+)
+
+// batchWorld is one independently-built copy of the equivalence fixture:
+// identical worlds are built for the scalar and batch probers so the two
+// runs share no state and every counter can be compared at the end.
+type batchWorld struct {
+	net *netsim.Network
+	inj *faults.Injector
+	p   *Prober
+	reg *metrics.Registry
+	ids []netsim.BlockID
+}
+
+// buildBatchWorld assembles a hostile fixture that exercises every probe
+// outcome: an always-up block (first-probe positives), a flaky block
+// (multi-probe negative runs), an outage block whose gateway sometimes
+// answers unreachable, and a reply-rate-limited block. The fault injector
+// adds loss, reply corruption, admin-prohibited rate limiting, clock skew,
+// and periodic vantage blackouts (send errors → retries → the batch path's
+// scalar-fallback lanes).
+func buildBatchWorld(t *testing.T, withFaults bool) *batchWorld {
+	t.Helper()
+	n := netsim.NewNetwork(42)
+
+	up := buildBlock(netsim.MakeBlockID(10, 3, 1), 100, 0, 0)
+	flaky := buildBlock(netsim.MakeBlockID(10, 3, 2), 0, 100, 0.4)
+	outage := buildBlock(netsim.MakeBlockID(10, 3, 3), 80, 0, 0)
+	outage.GatewayUnreachableProb = 0.5
+	outage.Outages = []netsim.Interval{
+		{Start: at(0, 3, 0), End: at(0, 7, 0)},
+		{Start: at(0, 14, 0), End: at(0, 16, 0)},
+	}
+	limited := buildBlock(netsim.MakeBlockID(10, 3, 4), 0, 90, 0.5)
+	limited.ReplyRateLimit = 2
+
+	w := &batchWorld{net: n, reg: metrics.New()}
+	for _, blk := range []*netsim.Block{up, flaky, outage, limited} {
+		n.AddBlock(blk)
+		w.ids = append(w.ids, blk.ID)
+	}
+	if withFaults {
+		w.inj = faults.New(faults.Config{
+			Seed:              9,
+			LossRate:          0.15,
+			CorruptRate:       0.15,
+			RateLimitPerRound: 6,
+			ClockSkew:         30 * time.Millisecond,
+			BlackoutEvery:     2 * time.Hour,
+			BlackoutFor:       90 * time.Second,
+			Epoch:             epoch,
+		})
+		n.SetTap(w.inj)
+	}
+	w.p = New(n, Config{
+		RestartInterval: 5*time.Hour + 30*time.Minute,
+		// Seed 24 puts exactly one of the four blocks inside this restart
+		// window, so the fixture mixes cold and warm lanes in one batch.
+		RestartDowntimeFrac: 0.5,
+		Retry:               RetryConfig{MaxAttempts: 3, BaseBackoff: 2 * time.Second},
+		Metrics:             w.reg,
+	}, 24)
+	for _, blk := range []*netsim.Block{up, flaky, outage, limited} {
+		if err := w.p.AddBlock(blk.ID, blk.EverActive()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+// netCounters snapshots a network's global counters for comparison.
+func netCounters(n *netsim.Network) [6]int64 {
+	return [6]int64{
+		n.Stats.Probes.Load(), n.Stats.Replies.Load(), n.Stats.Timeouts.Load(),
+		n.Stats.Lost.Load(), n.Stats.Malformed.Load(), n.Stats.RateLimited.Load(),
+	}
+}
+
+// TestProbeRoundsBatchMatchesScalar is the prober-level equivalence gate:
+// the batched wavefront must produce, round for round and block for block,
+// the exact observations of sequential ProbeRoundWith calls — and leave
+// prober memory, network counters, fault-injector state, and the metrics
+// registry identical too. Runs with and without the fault tap; the faulty
+// run covers retries, scalar-fallback lanes, corrupted replies, and
+// admin-prohibited cut-offs, and the fixture asserts each actually fired.
+func TestProbeRoundsBatchMatchesScalar(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		withFaults bool
+	}{
+		{"clean", false},
+		{"faulty", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ws := buildBatchWorld(t, tc.withFaults)
+			wb := buildBatchWorld(t, tc.withFaults)
+
+			pc := NewProbeContext()
+			bc := NewBatchContext()
+			aOps := []float64{0.9, 0.4, 0.8, 0.3}
+			outB := make([]RoundObs, len(wb.ids))
+
+			var agg RoundObs
+			for r := 0; r < 64; r++ {
+				now := epoch.Add(time.Duration(r) * 660 * time.Second)
+				if err := wb.p.ProbeRoundsBatch(bc, wb.ids, aOps, now, outB); err != nil {
+					t.Fatal(err)
+				}
+				for i, id := range ws.ids {
+					obsS, err := ws.p.ProbeRoundWith(pc, id, now, aOps[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if obsS != outB[i] {
+						t.Fatalf("round %d block %s diverged:\nscalar %+v\nbatch  %+v", r, id, obsS, outB[i])
+					}
+					agg.Total += obsS.Total
+					agg.Positive += obsS.Positive
+					agg.Unreachable += obsS.Unreachable
+					agg.Retries += obsS.Retries
+					agg.SendErrors += obsS.SendErrors
+					agg.RateLimited += obsS.RateLimited
+					if obsS.Cold {
+						agg.Round++ // reused as a cold-round tally
+					}
+				}
+			}
+
+			// The fixture must actually exercise the interesting paths, or
+			// the equivalence above proves less than it claims.
+			if agg.Positive == 0 || agg.Unreachable == 0 || agg.Round == 0 {
+				t.Fatalf("fixture too tame: %+v", agg)
+			}
+			if tc.withFaults && (agg.Retries == 0 || agg.SendErrors == 0 || agg.RateLimited == 0) {
+				t.Fatalf("fault fixture too tame: %+v", agg)
+			}
+
+			sState, bState := ws.p.ExportState(), wb.p.ExportState()
+			if len(sState.Blocks) != len(bState.Blocks) {
+				t.Fatalf("state sizes differ")
+			}
+			for i := range sState.Blocks {
+				if sState.Blocks[i] != bState.Blocks[i] {
+					t.Errorf("prober state diverged: %+v vs %+v", sState.Blocks[i], bState.Blocks[i])
+				}
+			}
+			if !sState.Epoch.Equal(bState.Epoch) {
+				t.Errorf("epochs diverged: %v vs %v", sState.Epoch, bState.Epoch)
+			}
+			if s, b := ws.p.ProbesSent(), wb.p.ProbesSent(); s != b {
+				t.Errorf("ProbesSent %d vs %d", s, b)
+			}
+			if s, b := netCounters(ws.net), netCounters(wb.net); s != b {
+				t.Errorf("network counters diverged: %v vs %v", s, b)
+			}
+			for _, id := range ws.ids {
+				if s, b := ws.net.ProbesToBlock(id), wb.net.ProbesToBlock(id); s != b {
+					t.Errorf("ProbesToBlock(%s) %d vs %d", id, s, b)
+				}
+			}
+			if tc.withFaults {
+				if s, b := ws.inj.Totals(), wb.inj.Totals(); s != b {
+					t.Errorf("injector totals diverged: %+v vs %+v", s, b)
+				}
+			}
+			sSnap, bSnap := ws.reg.Snapshot().Deterministic(), wb.reg.Snapshot().Deterministic()
+			for _, name := range []string{
+				"trinocular.probes_sent", "trinocular.positives", "trinocular.unreachables",
+				"trinocular.retries", "trinocular.send_errors", "trinocular.rounds",
+				"trinocular.rounds_cold", "trinocular.rounds_rate_limited",
+				"trinocular.rounds_cut_short", "trinocular.rounds_failed", "trinocular.backoff_ns",
+			} {
+				if s, b := sSnap.Counter(name), bSnap.Counter(name); s != b {
+					t.Errorf("%s: scalar %d, batch %d", name, s, b)
+				}
+			}
+		})
+	}
+}
+
+// scalarOnlyNet hides *netsim.Network's batch capability, leaving only the
+// buffered scalar interface.
+type scalarOnlyNet struct{ n *netsim.Network }
+
+func (s scalarOnlyNet) DeliverIP(pkt []byte, now time.Time) netsim.Response {
+	return s.n.DeliverIP(pkt, now)
+}
+func (s scalarOnlyNet) DeliverIPInto(buf *netsim.ReplyBuffer, pkt []byte, now time.Time) netsim.Response {
+	return s.n.DeliverIPInto(buf, pkt, now)
+}
+
+// TestProbeRoundsBatchScalarNetworkFallback pins the degradation path: over
+// a network without DeliverBatch, ProbeRoundsBatch must still work and
+// still match per-block scalar rounds exactly.
+func TestProbeRoundsBatchScalarNetworkFallback(t *testing.T) {
+	build := func(batched bool) (*Prober, []netsim.BlockID) {
+		n := netsim.NewNetwork(42)
+		blkA := buildBlock(netsim.MakeBlockID(10, 4, 1), 50, 50, 0.5)
+		blkB := buildBlock(netsim.MakeBlockID(10, 4, 2), 0, 80, 0.3)
+		n.AddBlock(blkA)
+		n.AddBlock(blkB)
+		var pn ProbeNetwork = n
+		if !batched {
+			pn = scalarOnlyNet{n}
+		}
+		p := New(pn, Config{}, 13)
+		for _, blk := range []*netsim.Block{blkA, blkB} {
+			if err := p.AddBlock(blk.ID, blk.EverActive()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p, []netsim.BlockID{blkA.ID, blkB.ID}
+	}
+
+	pScalar, ids := build(false)
+	pBatch, _ := build(true)
+	if pScalar.batchNet != nil {
+		t.Fatal("wrapper still exposes DeliverBatch")
+	}
+	if pBatch.batchNet == nil {
+		t.Fatal("*netsim.Network should be detected as batched")
+	}
+
+	bcS, bcB := NewBatchContext(), NewBatchContext()
+	aOps := []float64{0.6, 0.4}
+	outS := make([]RoundObs, len(ids))
+	outB := make([]RoundObs, len(ids))
+	for r := 0; r < 32; r++ {
+		now := epoch.Add(time.Duration(r) * 660 * time.Second)
+		if err := pScalar.ProbeRoundsBatch(bcS, ids, aOps, now, outS); err != nil {
+			t.Fatal(err)
+		}
+		if err := pBatch.ProbeRoundsBatch(bcB, ids, aOps, now, outB); err != nil {
+			t.Fatal(err)
+		}
+		for i := range ids {
+			if outS[i] != outB[i] {
+				t.Fatalf("round %d block %s: fallback %+v vs batch %+v", r, ids[i], outS[i], outB[i])
+			}
+		}
+	}
+}
+
+// TestProbeRoundsBatchErrors pins the argument contract: mismatched shapes
+// and untracked blocks fail up front.
+func TestProbeRoundsBatchErrors(t *testing.T) {
+	n := netsim.NewNetwork(1)
+	blk := buildBlock(netsim.MakeBlockID(10, 5, 1), 40, 0, 0)
+	n.AddBlock(blk)
+	p := New(n, Config{}, 1)
+	if err := p.AddBlock(blk.ID, blk.EverActive()); err != nil {
+		t.Fatal(err)
+	}
+	bc := NewBatchContext()
+	out := make([]RoundObs, 2)
+	if err := p.ProbeRoundsBatch(bc, []netsim.BlockID{blk.ID}, []float64{0.5, 0.5}, at(0, 0, 0), out); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+	ids := []netsim.BlockID{blk.ID, netsim.MakeBlockID(1, 2, 3)}
+	if err := p.ProbeRoundsBatch(bc, ids, []float64{0.5, 0.5}, at(0, 0, 0), out); err == nil {
+		t.Fatal("untracked block should error")
+	}
+}
+
+// groupWorld is the per-block-prober variant of batchWorld, mirroring the
+// measurement pipeline: every block gets its own prober (its own walk seed,
+// derived from the block id exactly as core.Pipeline derives it) over one
+// shared network.
+type groupWorld struct {
+	net     *netsim.Network
+	inj     *faults.Injector
+	probers []*Prober
+	ids     []netsim.BlockID
+}
+
+func buildGroupWorld(t *testing.T, withFaults bool) *groupWorld {
+	t.Helper()
+	n := netsim.NewNetwork(42)
+
+	up := buildBlock(netsim.MakeBlockID(10, 3, 1), 100, 0, 0)
+	flaky := buildBlock(netsim.MakeBlockID(10, 3, 2), 0, 100, 0.4)
+	outage := buildBlock(netsim.MakeBlockID(10, 3, 3), 80, 0, 0)
+	outage.GatewayUnreachableProb = 0.5
+	outage.Outages = []netsim.Interval{
+		{Start: at(0, 3, 0), End: at(0, 7, 0)},
+		{Start: at(0, 14, 0), End: at(0, 16, 0)},
+	}
+	limited := buildBlock(netsim.MakeBlockID(10, 3, 4), 0, 90, 0.5)
+	limited.ReplyRateLimit = 2
+
+	w := &groupWorld{net: n}
+	if withFaults {
+		w.inj = faults.New(faults.Config{
+			Seed:              9,
+			LossRate:          0.15,
+			CorruptRate:       0.15,
+			RateLimitPerRound: 6,
+			ClockSkew:         30 * time.Millisecond,
+			BlackoutEvery:     2 * time.Hour,
+			BlackoutFor:       90 * time.Second,
+			Epoch:             epoch,
+		})
+	}
+	for _, blk := range []*netsim.Block{up, flaky, outage, limited} {
+		n.AddBlock(blk)
+		p := New(n, Config{
+			RestartInterval:     5*time.Hour + 30*time.Minute,
+			RestartDowntimeFrac: 0.5,
+			Retry:               RetryConfig{MaxAttempts: 3, BaseBackoff: 2 * time.Second},
+		}, 24^uint64(blk.ID))
+		if err := p.AddBlock(blk.ID, blk.EverActive()); err != nil {
+			t.Fatal(err)
+		}
+		w.probers = append(w.probers, p)
+		w.ids = append(w.ids, blk.ID)
+	}
+	if withFaults {
+		n.SetTap(w.inj)
+	}
+	return w
+}
+
+// TestProbeRoundsBatchGroupMatchesScalar extends the equivalence gate to
+// mixed-prober wavefronts: with one prober per block (the pipeline's
+// arrangement), the grouped wavefront must reproduce sequential per-prober
+// scalar rounds exactly — observations, prober memory, ProbesSent, network
+// counters, and injector state.
+func TestProbeRoundsBatchGroupMatchesScalar(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		withFaults bool
+	}{
+		{"clean", false},
+		{"faulty", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ws := buildGroupWorld(t, tc.withFaults)
+			wb := buildGroupWorld(t, tc.withFaults)
+
+			pc := NewProbeContext()
+			bc := NewBatchContext()
+			aOps := []float64{0.9, 0.4, 0.8, 0.3}
+			outB := make([]RoundObs, len(wb.ids))
+
+			var agg RoundObs
+			for r := 0; r < 64; r++ {
+				now := epoch.Add(time.Duration(r) * 660 * time.Second)
+				if err := ProbeRoundsBatchGroup(bc, wb.probers, wb.ids, aOps, now, outB); err != nil {
+					t.Fatal(err)
+				}
+				for i, id := range ws.ids {
+					obsS, err := ws.probers[i].ProbeRoundWith(pc, id, now, aOps[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if obsS != outB[i] {
+						t.Fatalf("round %d block %s diverged:\nscalar %+v\ngroup  %+v", r, id, obsS, outB[i])
+					}
+					agg.Total += obsS.Total
+					agg.Positive += obsS.Positive
+					agg.Unreachable += obsS.Unreachable
+					agg.Retries += obsS.Retries
+					agg.SendErrors += obsS.SendErrors
+					agg.RateLimited += obsS.RateLimited
+				}
+			}
+			if agg.Positive == 0 || agg.Unreachable == 0 {
+				t.Fatalf("fixture too tame: %+v", agg)
+			}
+			if tc.withFaults && (agg.Retries == 0 || agg.SendErrors == 0 || agg.RateLimited == 0) {
+				t.Fatalf("fault fixture too tame: %+v", agg)
+			}
+
+			for i := range ws.probers {
+				sState, bState := ws.probers[i].ExportState(), wb.probers[i].ExportState()
+				if len(sState.Blocks) != 1 || len(bState.Blocks) != 1 || sState.Blocks[0] != bState.Blocks[0] {
+					t.Errorf("prober %d state diverged: %+v vs %+v", i, sState.Blocks, bState.Blocks)
+				}
+				if s, b := ws.probers[i].ProbesSent(), wb.probers[i].ProbesSent(); s != b {
+					t.Errorf("prober %d ProbesSent %d vs %d", i, s, b)
+				}
+			}
+			if s, b := netCounters(ws.net), netCounters(wb.net); s != b {
+				t.Errorf("network counters diverged: %v vs %v", s, b)
+			}
+			if tc.withFaults {
+				if s, b := ws.inj.Totals(), wb.inj.Totals(); s != b {
+					t.Errorf("injector totals diverged: %+v vs %+v", s, b)
+				}
+			}
+		})
+	}
+}
+
+// TestProbeRoundsBatchGroupFallbackAndErrors pins the group contract: shape
+// mismatches and untracked blocks error, and a group over a non-batched
+// network still matches the batched result exactly.
+func TestProbeRoundsBatchGroupFallbackAndErrors(t *testing.T) {
+	build := func(batched bool) *groupWorld {
+		n := netsim.NewNetwork(42)
+		blkA := buildBlock(netsim.MakeBlockID(10, 4, 1), 50, 50, 0.5)
+		blkB := buildBlock(netsim.MakeBlockID(10, 4, 2), 0, 80, 0.3)
+		w := &groupWorld{net: n}
+		var pn ProbeNetwork = n
+		for _, blk := range []*netsim.Block{blkA, blkB} {
+			n.AddBlock(blk)
+			if !batched {
+				pn = scalarOnlyNet{n}
+			}
+			p := New(pn, Config{}, 13^uint64(blk.ID))
+			if err := p.AddBlock(blk.ID, blk.EverActive()); err != nil {
+				t.Fatal(err)
+			}
+			w.probers = append(w.probers, p)
+			w.ids = append(w.ids, blk.ID)
+		}
+		return w
+	}
+
+	wf := build(false)
+	wb := build(true)
+	bcF, bcB := NewBatchContext(), NewBatchContext()
+	aOps := []float64{0.6, 0.4}
+	outF := make([]RoundObs, 2)
+	outB := make([]RoundObs, 2)
+	for r := 0; r < 32; r++ {
+		now := epoch.Add(time.Duration(r) * 660 * time.Second)
+		if err := ProbeRoundsBatchGroup(bcF, wf.probers, wf.ids, aOps, now, outF); err != nil {
+			t.Fatal(err)
+		}
+		if err := ProbeRoundsBatchGroup(bcB, wb.probers, wb.ids, aOps, now, outB); err != nil {
+			t.Fatal(err)
+		}
+		for i := range wf.ids {
+			if outF[i] != outB[i] {
+				t.Fatalf("round %d block %s: fallback %+v vs group %+v", r, wf.ids[i], outF[i], outB[i])
+			}
+		}
+	}
+
+	bc := NewBatchContext()
+	if err := ProbeRoundsBatchGroup(bc, wb.probers[:1], wb.ids, aOps, at(0, 0, 0), outB); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+	badIDs := []netsim.BlockID{wb.ids[0], netsim.MakeBlockID(1, 2, 3)}
+	if err := ProbeRoundsBatchGroup(bc, wb.probers, badIDs, aOps, at(0, 0, 0), outB); err == nil {
+		t.Fatal("untracked block should error")
+	}
+	if err := ProbeRoundsBatchGroup(bc, nil, nil, nil, at(0, 0, 0), outB); err != nil {
+		t.Fatalf("empty group should be a no-op, got %v", err)
+	}
+}
+
+// TestProbeRoundsBatchGroupAllocFree pins the grouped warm-round budget at
+// zero allocations, matching the single-prober batch path.
+func TestProbeRoundsBatchGroupAllocFree(t *testing.T) {
+	w := buildGroupWorld(t, false)
+	bc := NewBatchContext()
+	aOps := []float64{0.9, 0.4, 0.8, 0.3}
+	out := make([]RoundObs, len(w.ids))
+
+	round := 0
+	probeAll := func() {
+		now := epoch.Add(time.Duration(round) * 660 * time.Second)
+		if err := ProbeRoundsBatchGroup(bc, w.probers, w.ids, aOps, now, out); err != nil {
+			t.Fatal(err)
+		}
+		round++
+	}
+	for i := 0; i < 3; i++ {
+		probeAll()
+	}
+	if avg := testing.AllocsPerRun(50, probeAll); avg != 0 {
+		t.Fatalf("grouped batched round allocates %.2f times, want 0", avg)
+	}
+}
+
+// TestProbeRoundsBatchAllocFree pins the batched warm-round budget at zero
+// allocations: after the first rounds grow every arena, a full batched
+// round over four blocks — marshal the wavefront, cross the boundary once,
+// classify, update beliefs — must not touch the heap. Runs without the
+// fault tap: reply corruption is copy-on-corrupt by contract and so pays
+// its allocation on the scalar path too.
+func TestProbeRoundsBatchAllocFree(t *testing.T) {
+	w := buildBatchWorld(t, false)
+	bc := NewBatchContext()
+	aOps := []float64{0.9, 0.4, 0.8, 0.3}
+	out := make([]RoundObs, len(w.ids))
+
+	round := 0
+	probeAll := func() {
+		now := epoch.Add(time.Duration(round) * 660 * time.Second)
+		if err := w.p.ProbeRoundsBatch(bc, w.ids, aOps, now, out); err != nil {
+			t.Fatal(err)
+		}
+		round++
+	}
+	for i := 0; i < 3; i++ {
+		probeAll()
+	}
+	if avg := testing.AllocsPerRun(50, probeAll); avg != 0 {
+		t.Fatalf("batched round allocates %.2f times, want 0", avg)
+	}
+	if bc.RetainedBytes() == 0 {
+		t.Fatal("RetainedBytes should report the warm arenas")
+	}
+}

@@ -1,0 +1,95 @@
+package trinocular
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"sleepnet/internal/icmp"
+	"sleepnet/internal/ipv4"
+	"sleepnet/internal/netsim"
+)
+
+// TestProbeTemplateMatchesMarshal pins the probe-template fast path to the
+// generic marshal chain: for every combination of probe ID, sequence, host
+// octet, source address, and block prefix — including the checksum-fold
+// edge cases at 0 and 0xffff — appendProbe must produce exactly the bytes
+// icmp.Echo.MarshalAppend wrapped in ipv4.Header.MarshalAppend produces.
+// This is what lets the hot paths patch a prefab packet instead of
+// re-marshalling 28 bytes and walking them twice for checksums.
+func TestProbeTemplateMatchesMarshal(t *testing.T) {
+	probeIDs := []uint16{0, 1, 0x1234, 0xfffe, 0xffff}
+	seqs := []uint16{0, 1, 0x00ff, 0x7fff, 0xfffe, 0xffff}
+	hosts := []byte{0, 1, 127, 254, 255}
+	srcs := []ipv4.Addr{{}, {192, 0, 2, 1}, {255, 255, 255, 255}}
+	blocks := []netsim.BlockID{
+		netsim.MakeBlockID(10, 3, 1),
+		netsim.MakeBlockID(0, 0, 0),
+		netsim.MakeBlockID(255, 255, 255),
+	}
+
+	for _, pid := range probeIDs {
+		for _, src := range srcs {
+			for _, id := range blocks {
+				st := &blockState{id: id}
+				st.initTemplate(pid, src)
+				for _, seq := range seqs {
+					for _, host := range hosts {
+						st.seq = seq
+						got := st.appendProbe(nil, host)
+
+						echo := icmp.Echo{ID: pid, Seq: seq}
+						echoPkt, err := echo.MarshalAppend(nil)
+						if err != nil {
+							t.Fatal(err)
+						}
+						hdr := ipv4.Header{
+							ID:       seq,
+							TTL:      ipv4.DefaultTTL,
+							Protocol: ipv4.ProtoICMP,
+							Src:      src,
+							Dst:      ipv4.Addr(id.Addr(host).IP()),
+						}
+						want, err := hdr.MarshalAppend(nil, echoPkt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !bytes.Equal(got, want) {
+							t.Fatalf("template diverged for id=%#x src=%v block=%s seq=%#x host=%d:\n got %x\nwant %x",
+								pid, src, id, seq, host, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAppendProbeParsesBack sanity-checks that the network side accepts a
+// templated probe: the header parses with a valid checksum and the echo
+// parses back to the identity the template patched in.
+func TestAppendProbeParsesBack(t *testing.T) {
+	st := &blockState{id: netsim.MakeBlockID(10, 3, 9)}
+	st.initTemplate(0xbeef, ipv4.Addr{198, 51, 100, 7})
+	st.seq = 4242
+	pkt := st.appendProbe(nil, 77)
+
+	var hdr ipv4.Header
+	payload, err := ipv4.ParseHeader(&hdr, pkt)
+	if err != nil {
+		t.Fatalf("templated packet failed header parse: %v", err)
+	}
+	if hdr.Dst != (ipv4.Addr{10, 3, 9, 77}) || hdr.ID != 4242 {
+		t.Fatalf("unexpected header: %+v", hdr)
+	}
+	var echo icmp.Echo
+	if err := icmp.ParseEchoInto(&echo, payload); err != nil {
+		t.Fatalf("templated packet failed echo parse: %v", err)
+	}
+	if echo.Reply || echo.ID != 0xbeef || echo.Seq != 4242 {
+		t.Fatalf("unexpected echo: %+v", echo)
+	}
+	if s := fmt.Sprintf("%d", len(pkt)); s != "28" {
+		t.Fatalf("probe packet is %s bytes, want 28", s)
+	}
+}

@@ -15,6 +15,7 @@
 package trinocular
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -199,11 +200,13 @@ type RoundObs struct {
 }
 
 // Failed reports whether the round produced no usable observation: every
-// probe died at the vantage point or was eaten by rate limiting.
-func (o RoundObs) Failed() bool { return o.Total == 0 }
+// probe died at the vantage point or was eaten by rate limiting. The
+// pointer receiver (here and on Rate) keeps per-round hot paths from
+// copying the struct when inlining falls through.
+func (o *RoundObs) Failed() bool { return o.Total == 0 }
 
 // Rate returns the raw p/t ratio of the round.
-func (o RoundObs) Rate() float64 {
+func (o *RoundObs) Rate() float64 {
 	if o.Total == 0 {
 		return 0
 	}
@@ -226,19 +229,80 @@ type blockState struct {
 	// outage log with false positives. Recovery needs no debounce — a
 	// positive response is near-conclusive evidence of up.
 	downStreak int
+	// pktTmpl is the prefab probe packet for this block: every byte that
+	// does not change between probes (IP version/TTL/protocol/src, the /24
+	// prefix of dst, the ICMP type and probe ID) is marshalled once at
+	// AddBlock time. A probe then copies the template and patches the five
+	// varying fields — IP ID, host octet, echo sequence, and the two
+	// checksums, folded from the precomputed partial sums below — which is
+	// byte-identical to the generic icmp+ipv4 MarshalAppend chain (pinned
+	// by TestProbeTemplateMatchesMarshal) at a fraction of the cost.
+	pktTmpl  [probePktLen]byte
+	ipPart   uint32 // ones-complement sum of pktTmpl's IP header words (ID, checksum, host octet zero)
+	echoPart uint32 // ones-complement sum of pktTmpl's echo words (seq, checksum zero)
+}
+
+// probePktLen is the wire size of every probe the prober sends: an
+// option-less IPv4 header around a payload-less ICMP echo request.
+const probePktLen = ipv4.HeaderLen + icmp.EchoHeaderLen
+
+// initTemplate marshals the static bytes of the block's probe packet and
+// the checksum partial sums. Called once per AddBlock.
+func (st *blockState) initTemplate(probeID uint16, src ipv4.Addr) {
+	b := st.pktTmpl[:]
+	b[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(b[2:4], probePktLen)
+	b[8] = ipv4.DefaultTTL
+	b[9] = ipv4.ProtoICMP
+	copy(b[12:16], src[:])
+	ip := st.id.Addr(0).IP()
+	copy(b[16:20], ip[:])
+	b[ipv4.HeaderLen] = icmp.TypeEchoRequest
+	binary.BigEndian.PutUint16(b[ipv4.HeaderLen+4:], probeID)
+	var sum uint32
+	for i := 0; i < ipv4.HeaderLen; i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	st.ipPart = sum
+	st.echoPart = uint32(icmp.TypeEchoRequest)<<8 + uint32(probeID)
+}
+
+// appendProbe appends the marshalled probe for (st.seq, host) to dst and
+// returns the grown slice. The bytes are exactly what the generic marshal
+// chain would produce: the template supplies the static bytes, and each
+// checksum is the fold of its partial sum plus the varying words (the
+// ones-complement sum is commutative, so adding the ID/seq/host words to
+// the template's sum equals summing the patched packet).
+func (st *blockState) appendProbe(dst []byte, host byte) []byte {
+	off := len(dst)
+	dst = append(dst, st.pktTmpl[:]...)
+	b := dst[off:]
+	binary.BigEndian.PutUint16(b[4:6], st.seq)
+	b[19] = host
+	s := st.ipPart + uint32(st.seq) + uint32(host)
+	for s > 0xffff {
+		s = (s >> 16) + (s & 0xffff)
+	}
+	binary.BigEndian.PutUint16(b[10:12], ^uint16(s))
+	binary.BigEndian.PutUint16(b[ipv4.HeaderLen+6:], st.seq)
+	s = st.echoPart + uint32(st.seq)
+	for s > 0xffff {
+		s = (s >> 16) + (s & 0xffff)
+	}
+	binary.BigEndian.PutUint16(b[ipv4.HeaderLen+2:], ^uint16(s))
+	return dst
 }
 
 // ProbeContext is the reusable wire scratch one probing worker threads
-// through its rounds: the marshalled echo, its IPv4 encapsulation, and the
-// network's reply buffer. It used to live inside blockState, which retained
-// three grown buffers per tracked block — O(blocks) steady-state memory. A
+// through its rounds: the marshalled probe packet and the network's reply
+// buffer. It used to live inside blockState, which retained
+// grown buffers per tracked block — O(blocks) steady-state memory. A
 // context belongs to one worker at a time (rounds sharing a context must not
 // run concurrently), so a monitor over a million blocks retains O(workers)
 // probe-context bytes, not O(blocks).
 type ProbeContext struct {
-	echoBuf []byte
-	pktBuf  []byte
-	reply   netsim.ReplyBuffer
+	pktBuf []byte
+	reply  netsim.ReplyBuffer
 }
 
 // NewProbeContext returns an empty context; buffers grow on first use and
@@ -248,7 +312,7 @@ func NewProbeContext() *ProbeContext { return &ProbeContext{} }
 // RetainedBytes reports the heap bytes the context currently retains — the
 // quantity the monitor's O(workers) memory contract is pinned against.
 func (pc *ProbeContext) RetainedBytes() int {
-	return cap(pc.echoBuf) + cap(pc.pktBuf) + pc.reply.RetainedBytes()
+	return cap(pc.pktBuf) + pc.reply.RetainedBytes()
 }
 
 // Prober drives adaptive probing over a set of blocks. After all blocks
@@ -260,7 +324,11 @@ type Prober struct {
 	net ProbeNetwork
 	// bufNet is net when it also implements ProbeNetworkBuffered (detected
 	// once in New), nil otherwise.
-	bufNet    ProbeNetworkBuffered
+	bufNet ProbeNetworkBuffered
+	// batchNet is net when it also implements ProbeNetworkBatched (detected
+	// once in New), nil otherwise; without it ProbeRoundsBatch degrades to
+	// scalar rounds.
+	batchNet  ProbeNetworkBatched
 	seed      uint64
 	epoch     time.Time // established on first round; restart phase reference
 	epochOnce sync.Once
@@ -329,6 +397,9 @@ func New(net ProbeNetwork, cfg Config, seed uint64) *Prober {
 	if bn, ok := net.(ProbeNetworkBuffered); ok {
 		p.bufNet = bn
 	}
+	if bn, ok := net.(ProbeNetworkBatched); ok {
+		p.batchNet = bn
+	}
 	return p
 }
 
@@ -345,6 +416,7 @@ func (p *Prober) AddBlock(id netsim.BlockID, everActive []byte) error {
 		belief: 0.5,
 		up:     true,
 	}
+	st.initTemplate(p.cfg.ProbeID, p.cfg.SrcIP)
 	shuffle(st.walk, p.seed^uint64(id))
 	p.states[id] = st
 	return nil
@@ -446,19 +518,64 @@ func (p *Prober) ProbeRoundWith(pc *ProbeContext, id netsim.BlockID, now time.Ti
 	if !ok {
 		return RoundObs{}, fmt.Errorf("trinocular: block %s not tracked", id)
 	}
+	//lint:allow hotalloc: once-guarded epoch capture; the closure is live only on the prober's very first round
 	p.epochOnce.Do(func() { p.epoch = now })
+	var rs roundState
+	p.beginRound(&rs, st, now, aOp)
+	p.scalarRound(&rs, pc, now)
+	p.finishRound(&rs)
+	return rs.obs, nil
+}
+
+// roundState is the in-flight state of one block's probing round, shared by
+// the scalar path (ProbeRoundWith) and the batch path (ProbeRoundsBatch):
+// beginRound opens it, prepareProbe/applyOutcome advance it one probe at a
+// time, finishRound folds it back into the block's memory. Because both
+// paths drive the same probes through the same state machine, a batched
+// round is equivalent to a scalar round by construction — there is no
+// second belief/stop/debounce implementation to drift.
+type roundState struct {
+	st        *blockState
+	obs       RoundObs
+	aOp       float64
+	belief    float64
+	maxProbes int
+	// backoffUsed shifts every later probe of the round: retried probes
+	// really happen that much later in virtual time, which is what lets a
+	// retry escape a vantage blackout window.
+	backoffUsed time.Duration
+	// sent counts marshalled send attempts (including retries). It flushes
+	// to the prober's probe counters once per round in finishRound, so the
+	// hot loop never touches an atomic or a metrics counter per probe.
+	sent int64
+	done bool
+}
+
+// beginRound opens a round for the block into rs: clamps the caller's
+// operational availability estimate, bumps the round counter, applies the
+// cold-restart reset, clamps the prior, and fixes the probe budget. It
+// initializes rs in place (rather than returning a roundState) because the
+// struct is large enough that returning it by value shows up as copy cost
+// on the batched hot path.
+func (p *Prober) beginRound(rs *roundState, st *blockState, now time.Time, aOp float64) {
 	if aOp < 0.1 {
 		aOp = 0.1
 	}
 	if aOp > 1 {
 		aOp = 1
 	}
-
-	obs := RoundObs{Round: st.round}
+	// Field-wise reset, not a struct literal: assigning a ~128-byte literal
+	// through the pointer compiles to a temporary plus duffcopy, which is
+	// measurable at one call per block per round.
+	rs.st = st
+	rs.obs = RoundObs{Round: st.round}
+	rs.aOp = aOp
+	rs.belief = st.belief
+	rs.maxProbes = p.cfg.MaxProbesPerRound
+	rs.backoffUsed = 0
+	rs.sent = 0
+	rs.done = false
 	st.round++
-
-	maxProbes := p.cfg.MaxProbesPerRound
-	belief := st.belief
 	if p.isColdRound(now) && p.inDowntimeWindow(st.id) {
 		// Restart: the prober process came back with no memory — belief
 		// resets, the round probes cold, and the pseudorandom walk starts
@@ -466,80 +583,131 @@ func (p *Prober) ProbeRoundWith(pc *ProbeContext, id netsim.BlockID, now time.Ti
 		// visible in the data: cold rounds always sample the same leading
 		// addresses, whose availability differs from the block mean in
 		// heterogeneous blocks (the Fig 10 artifact at ~4.4 cycles/day).
-		obs.Cold = true
-		belief = 0.5
-		maxProbes = 1
+		rs.obs.Cold = true
+		rs.belief = 0.5
+		rs.maxProbes = 1
 		st.pos = 0
 	}
 	// Keep the prior away from saturation so new evidence can move it.
-	belief = clamp(belief, 0.05, 0.95)
-
-	if p.cfg.FixedProbes > 0 && !obs.Cold {
-		maxProbes = p.cfg.FixedProbes
+	rs.belief = clamp(rs.belief, 0.05, 0.95)
+	if p.cfg.FixedProbes > 0 && !rs.obs.Cold {
+		rs.maxProbes = p.cfg.FixedProbes
 	}
-	// backoffUsed shifts every later probe of the round: retried probes
-	// really happen that much later in virtual time, which is what lets a
-	// retry escape a vantage blackout window.
-	var backoffUsed time.Duration
-probing:
-	for obs.Total < maxProbes {
-		host := st.walk[st.pos]
-		st.pos = (st.pos + 1) % len(st.walk)
+}
+
+// prepareProbe advances the walk and sequence number for the round's next
+// probe and returns the host octet to target. The inputs of every probe —
+// target, sequence, timestamp — are fixed here, before any outcome is
+// known, which is what lets the batch path marshal a whole wavefront of
+// probes up front without changing the schedule.
+func (rs *roundState) prepareProbe() byte {
+	st := rs.st
+	host := st.walk[st.pos]
+	st.pos = (st.pos + 1) % len(st.walk)
+	st.seq++
+	return host
+}
+
+// scalarRound drives rs to completion through the scalar wire path, from
+// wherever it currently stands: ProbeRoundWith runs whole rounds through
+// it, and the batch path hands over lanes that hit a vantage-local send
+// failure (whose remaining probes happen at backoff-shifted times and so
+// leave the batch wavefront).
+func (p *Prober) scalarRound(rs *roundState, pc *ProbeContext, now time.Time) {
+	for !rs.done {
+		host := rs.prepareProbe()
+		outcome := p.sendProbe(pc, rs, host, now.Add(rs.backoffUsed))
+		if outcome == outcomeSendError {
+			outcome = p.retrySendErrors(rs, pc, host, now)
+		}
+		p.applyOutcome(rs, outcome)
+	}
+}
+
+// retrySendErrors re-sends a probe that failed at the vantage point, with
+// exponential backoff, jitter, and the round's cumulative backoff budget.
+// It returns the final outcome — still outcomeSendError when the attempt
+// cap or budget is exhausted first.
+func (p *Prober) retrySendErrors(rs *roundState, pc *ProbeContext, host byte, now time.Time) probeOutcome {
+	st := rs.st
+	outcome := outcomeSendError
+	for attempt := 1; attempt < p.cfg.Retry.MaxAttempts; attempt++ {
+		d := p.cfg.Retry.delay(attempt)
+		if p.cfg.Retry.JitterFrac > 0 {
+			j := prf.Float(p.seed^0x7e77, uint64(st.id), uint64(st.seq), uint64(attempt))
+			d += time.Duration(j * p.cfg.Retry.JitterFrac * float64(d))
+		}
+		if rs.backoffUsed+d > p.cfg.Retry.Budget {
+			break
+		}
+		rs.backoffUsed += d
+		rs.obs.Retries++
 		st.seq++
-		outcome := p.sendProbe(pc, st, host, now.Add(backoffUsed))
-		for attempt := 1; outcome == outcomeSendError && attempt < p.cfg.Retry.MaxAttempts; attempt++ {
-			d := p.cfg.Retry.delay(attempt)
-			if p.cfg.Retry.JitterFrac > 0 {
-				j := prf.Float(p.seed^0x7e77, uint64(st.id), uint64(st.seq), uint64(attempt))
-				d += time.Duration(j * p.cfg.Retry.JitterFrac * float64(d))
-			}
-			if backoffUsed+d > p.cfg.Retry.Budget {
-				break
-			}
-			backoffUsed += d
-			obs.Retries++
-			st.seq++
-			outcome = p.sendProbe(pc, st, host, now.Add(backoffUsed))
-		}
-		switch outcome {
-		case outcomeSendError:
-			// The vantage point is down and the retry budget is spent;
-			// further probes this round would fail the same way. No belief
-			// update — a local failure says nothing about the block.
-			obs.SendErrors++
-			break probing
-		case outcomeRateLimited:
-			// An admin-prohibited answer means an intermediate device is
-			// eating our probes: stop the round so the interference cannot
-			// masquerade as down evidence and burn the reply budget.
-			obs.RateLimited++
-			break probing
-		case outcomePositive:
-			obs.Total++
-			obs.Positive++
-			belief = updateBelief(belief, true, aOp, p.cfg.PositiveWhenDown)
-		case outcomeUnreachable:
-			obs.Total++
-			obs.Unreachable++
-			// A gateway's destination-unreachable is much stronger down
-			// evidence than silence: likelihood ~1% if up, ~30% if down.
-			belief = applyLikelihoods(belief, 0.01, 0.3)
-		default:
-			obs.Total++
-			belief = updateBelief(belief, false, aOp, p.cfg.PositiveWhenDown)
-		}
-		if p.cfg.FixedProbes <= 0 && (belief >= p.cfg.BeliefUp || belief <= p.cfg.BeliefDown) {
+		outcome = p.sendProbe(pc, rs, host, now.Add(rs.backoffUsed))
+		if outcome != outcomeSendError {
 			break
 		}
 	}
+	return outcome
+}
 
-	st.belief = belief
+// applyOutcome folds one probe's final outcome into the round: the belief
+// update, the observation counters, and every way a round can end
+// (interference, vantage failure, belief crossing a threshold, probe
+// budget exhausted).
+func (p *Prober) applyOutcome(rs *roundState, outcome probeOutcome) {
+	switch outcome {
+	case outcomeSendError:
+		// The vantage point is down and the retry budget is spent;
+		// further probes this round would fail the same way. No belief
+		// update — a local failure says nothing about the block.
+		rs.obs.SendErrors++
+		rs.done = true
+		return
+	case outcomeRateLimited:
+		// An admin-prohibited answer means an intermediate device is
+		// eating our probes: stop the round so the interference cannot
+		// masquerade as down evidence and burn the reply budget.
+		rs.obs.RateLimited++
+		rs.done = true
+		return
+	case outcomePositive:
+		rs.obs.Total++
+		rs.obs.Positive++
+		rs.belief = updateBelief(rs.belief, true, rs.aOp, p.cfg.PositiveWhenDown)
+	case outcomeUnreachable:
+		rs.obs.Total++
+		rs.obs.Unreachable++
+		// A gateway's destination-unreachable is much stronger down
+		// evidence than silence: likelihood ~1% if up, ~30% if down.
+		rs.belief = applyLikelihoods(rs.belief, 0.01, 0.3)
+	default:
+		rs.obs.Total++
+		rs.belief = updateBelief(rs.belief, false, rs.aOp, p.cfg.PositiveWhenDown)
+	}
+	if p.cfg.FixedProbes <= 0 && (rs.belief >= p.cfg.BeliefUp || rs.belief <= p.cfg.BeliefDown) {
+		rs.done = true
+		return
+	}
+	if rs.obs.Total >= rs.maxProbes {
+		rs.done = true
+	}
+}
+
+// finishRound folds the completed round back into the block's memory (the
+// belief and the debounced up/down state machine) and flushes the round's
+// metrics — one add per counter per round, never one per probe. The round's
+// observation is left in rs.obs; the caller copies it out once, which keeps
+// the ~96-byte RoundObs from being copied twice per round on the hot path.
+func (p *Prober) finishRound(rs *roundState) {
+	st := rs.st
+	st.belief = rs.belief
 	newUp := st.up
 	switch {
-	case belief >= p.cfg.BeliefUp:
+	case rs.belief >= p.cfg.BeliefUp:
 		newUp = true
 		st.downStreak = 0
-	case belief <= p.cfg.BeliefDown:
+	case rs.belief <= p.cfg.BeliefDown:
 		st.downStreak++
 		if st.downStreak >= 2 || !st.up {
 			newUp = false
@@ -548,30 +716,31 @@ probing:
 		// In between: keep previous state (hysteresis).
 		st.downStreak = 0
 	}
-	obs.Changed = newUp != st.up
+	rs.obs.Changed = newUp != st.up
 	st.up = newUp
-	obs.Up = newUp
+	rs.obs.Up = newUp
 
+	p.probesSent.Add(rs.sent)
+	p.m.probes.Add(rs.sent)
 	p.m.rounds.Inc()
-	p.m.positives.Add(int64(obs.Positive))
-	p.m.unreachables.Add(int64(obs.Unreachable))
-	p.m.retries.Add(int64(obs.Retries))
-	p.m.sendErrors.Add(int64(obs.SendErrors))
-	p.m.backoffNanos.Add(int64(backoffUsed))
-	if obs.Cold {
+	p.m.positives.Add(int64(rs.obs.Positive))
+	p.m.unreachables.Add(int64(rs.obs.Unreachable))
+	p.m.retries.Add(int64(rs.obs.Retries))
+	p.m.sendErrors.Add(int64(rs.obs.SendErrors))
+	p.m.backoffNanos.Add(int64(rs.backoffUsed))
+	if rs.obs.Cold {
 		p.m.roundsCold.Inc()
 	}
-	if obs.RateLimited > 0 {
+	if rs.obs.RateLimited > 0 {
 		p.m.roundsRateLimited.Inc()
 	}
-	if obs.SendErrors > 0 {
+	if rs.obs.SendErrors > 0 {
 		// The round stopped early because the vantage point was down.
 		p.m.roundsCutShort.Inc()
 	}
-	if obs.Failed() {
+	if rs.obs.Failed() {
 		p.m.roundsFailed.Inc()
 	}
-	return obs, nil
 }
 
 // probeOutcome distinguishes what a probe round trip produced.
@@ -594,33 +763,15 @@ const (
 	outcomeRateLimited
 )
 
-// sendProbe emits one IPv4-encapsulated ICMP echo and classifies the
-// answer: a matching echo reply from the probed address is positive; a
-// destination-unreachable quoting our probe is an informative negative;
-// anything else (timeout, malformed, mismatched) counts as silence. Wire
-// scratch comes from the worker's ProbeContext, not the block.
-func (p *Prober) sendProbe(pc *ProbeContext, st *blockState, host byte, now time.Time) probeOutcome {
-	target := st.id.Addr(host)
-	echo := icmp.Echo{ID: p.cfg.ProbeID, Seq: st.seq}
-	echoPkt, err := echo.MarshalAppend(pc.echoBuf[:0])
-	pc.echoBuf = echoPkt
-	if err != nil {
-		return outcomeNegative
-	}
-	hdr := ipv4.Header{
-		ID:       st.seq,
-		TTL:      ipv4.DefaultTTL,
-		Protocol: ipv4.ProtoICMP,
-		Src:      p.cfg.SrcIP,
-		Dst:      ipv4.Addr(target.IP()),
-	}
-	pkt, err := hdr.MarshalAppend(pc.pktBuf[:0], echoPkt)
+// sendProbe emits one IPv4-encapsulated ICMP echo for the round's current
+// sequence number and classifies the answer. Wire scratch comes from the
+// worker's ProbeContext, not the block; the attempt is tallied in rs.sent
+// so the probe counters flush once per round instead of once per probe.
+func (p *Prober) sendProbe(pc *ProbeContext, rs *roundState, host byte, now time.Time) probeOutcome {
+	st := rs.st
+	pkt := st.appendProbe(pc.pktBuf[:0], host)
 	pc.pktBuf = pkt
-	if err != nil {
-		return outcomeNegative
-	}
-	p.probesSent.Add(1)
-	p.m.probes.Inc()
+	rs.sent++
 	var resp netsim.Response
 	if p.bufNet != nil {
 		// resp.Data aliases pc.reply: valid until this context's next probe,
@@ -629,6 +780,16 @@ func (p *Prober) sendProbe(pc *ProbeContext, st *blockState, host byte, now time
 	} else {
 		resp = p.net.DeliverIP(pkt, now)
 	}
+	return p.classifyResponse(resp, ipv4.Addr(st.id.Addr(host).IP()), st.seq)
+}
+
+// classifyResponse decides what one probe's round trip produced: a matching
+// echo reply from the probed address is positive; a destination-unreachable
+// quoting our probe is an informative negative (admin-prohibited meaning
+// rate limiting); anything else (timeout, malformed, mismatched) counts as
+// silence. Shared verbatim by the scalar and batch wire paths, so the two
+// cannot disagree about what a reply means.
+func (p *Prober) classifyResponse(resp netsim.Response, target ipv4.Addr, seq uint16) probeOutcome {
 	if resp.SendFailed {
 		return outcomeSendError
 	}
@@ -658,7 +819,7 @@ func (p *Prober) sendProbe(pc *ProbeContext, st *blockState, host byte, now time
 		}
 		var orig icmp.Echo
 		if err := icmp.ParseEchoInto(&orig, inner); err != nil ||
-			orig.Reply || orig.ID != p.cfg.ProbeID || orig.Seq != st.seq {
+			orig.Reply || orig.ID != p.cfg.ProbeID || orig.Seq != seq {
 			return outcomeNegative
 		}
 		if un.Code == icmp.CodeAdminProhibited {
@@ -666,12 +827,12 @@ func (p *Prober) sendProbe(pc *ProbeContext, st *blockState, host byte, now time
 		}
 		return outcomeUnreachable
 	case icmp.TypeEchoReply:
-		if rHdr.Src != ipv4.Addr(target.IP()) {
+		if rHdr.Src != target {
 			return outcomeNegative
 		}
 		var reply icmp.Echo
 		if err := icmp.ParseEchoInto(&reply, payload); err != nil ||
-			!reply.Matches(p.cfg.ProbeID, st.seq) {
+			!reply.Matches(p.cfg.ProbeID, seq) {
 			return outcomeNegative
 		}
 		return outcomePositive
